@@ -1,0 +1,79 @@
+"""Ablation A6: exact vs tabulated mean-field propagator.
+
+The exact discretization computes one stacked matrix exponential per
+epoch; the tabulated propagator interpolates pre-computed exponentials
+on an arrival-rate grid (the RL training fast path). This bench
+measures the speedup and the induced error on full-episode returns and
+on the interpolated rows themselves.
+"""
+
+import numpy as np
+
+from repro.config import paper_system_config
+from repro.meanfield.discretization import TabulatedPropagator
+from repro.meanfield.mfc_env import MeanFieldEnv
+from repro.policies.static import JoinShortestQueuePolicy
+from repro.queueing.arrivals import ScriptedRate
+from repro.utils.tables import format_table
+
+from conftest import run_once
+
+DELTA_T = 5.0
+
+
+def _episode_return(propagator: str, modes) -> float:
+    cfg = paper_system_config(delta_t=DELTA_T, num_queues=100)
+    env = MeanFieldEnv(
+        cfg,
+        horizon=len(modes),
+        propagator=propagator,
+        arrival_process=ScriptedRate([0.9, 0.6], modes),
+        seed=0,
+    )
+    return env.rollout_return(JoinShortestQueuePolicy(6, 2), seed=0)
+
+
+def test_propagator_accuracy(benchmark, results_dir):
+    rng = np.random.default_rng(0)
+    modes = rng.integers(0, 2, size=100)
+
+    def compare():
+        exact = _episode_return("exact", modes)
+        tab = _episode_return("tabulated", modes)
+        row_err = TabulatedPropagator(
+            6, 1.0, DELTA_T, max_arrival=1.8, grid_size=257
+        ).max_interpolation_error(50)
+        return exact, tab, row_err
+
+    exact, tab, row_err = run_once(benchmark, compare)
+    assert abs(exact - tab) < 0.05  # episode-return error
+    assert row_err < 1e-4  # per-row interpolation error at default grid
+
+    table = format_table(
+        ["quantity", "value"],
+        [
+            ["episode return (exact expm)", f"{exact:.4f}"],
+            ["episode return (tabulated)", f"{tab:.4f}"],
+            ["abs episode error", f"{abs(exact - tab):.2e}"],
+            ["max row interpolation error", f"{row_err:.2e}"],
+        ],
+        title="Ablation A6: tabulated-propagator accuracy (100 epochs, Δt=5)",
+    )
+    (results_dir / "ablation_propagator.txt").write_text(table + "\n")
+    print("\n" + table)
+
+
+def test_exact_propagator_step_speed(benchmark):
+    cfg = paper_system_config(delta_t=DELTA_T, num_queues=100)
+    env = MeanFieldEnv(cfg, horizon=10**9, propagator="exact", seed=0)
+    env.reset(seed=0)
+    rule = JoinShortestQueuePolicy(6, 2).rule
+    benchmark(lambda: env.step(rule))
+
+
+def test_tabulated_propagator_step_speed(benchmark):
+    cfg = paper_system_config(delta_t=DELTA_T, num_queues=100)
+    env = MeanFieldEnv(cfg, horizon=10**9, propagator="tabulated", seed=0)
+    env.reset(seed=0)
+    rule = JoinShortestQueuePolicy(6, 2).rule
+    benchmark(lambda: env.step(rule))

@@ -1,0 +1,66 @@
+"""Figure 5: total packet drops vs synchronization delay Δt per policy.
+
+Paper panels: M ∈ {400, 600, 800, 1000}, N = M², Δt ∈ {1..10}, n = 100.
+Bench scale: M ∈ {50, 100}, full Δt grid, 4 runs. Asserted shape (the
+paper's stated findings):
+
+* drops grow with Δt for every policy (fewer updates ⇒ worse),
+* JSQ(2) is best at Δt = 1,
+* the MF policy matches/beats JSQ(2) from intermediate delays on and
+  beats RND's small-delay numbers,
+* JSQ(2) falls behind RND at large Δt (herding under stale state).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig5_delay_sweep import run_fig5
+
+from conftest import run_once
+
+DELTA_TS = tuple(float(x) for x in range(1, 11))
+RUNS = 4
+
+
+@pytest.mark.parametrize("num_queues", [50, 100])
+def test_fig5_panel(benchmark, results_dir, num_queues):
+    result = run_once(
+        benchmark,
+        run_fig5,
+        num_queues=num_queues,
+        delta_ts=DELTA_TS,
+        num_runs=RUNS,
+        seed=0,
+    )
+    # Record artifacts before asserting so failures still leave data.
+    (results_dir / f"fig5_m{num_queues}.csv").write_text(result.to_csv() + "\n")
+    (results_dir / f"fig5_m{num_queues}.txt").write_text(
+        result.format_table() + "\n"
+    )
+    print("\n" + result.format_table())
+
+    mf = result.mean_series("MF")
+    jsq = result.mean_series("JSQ(2)")
+    rnd = result.mean_series("RND")
+    mf_hw = np.asarray(
+        [r.interval.half_width for r in result.results["MF"]]
+    )
+    jsq_hw = np.asarray(
+        [r.interval.half_width for r in result.results["JSQ(2)"]]
+    )
+
+    # Drops increase with the delay (compare ends of the sweep).
+    for series in (mf, jsq, rnd):
+        assert series[-1] > series[0]
+    # JSQ(2) wins at Δt=1.
+    assert jsq[0] <= mf[0] + 0.5
+    assert jsq[0] < rnd[0]
+    # Herding: JSQ(2) worse than RND at Δt=10.
+    assert jsq[-1] > rnd[-1]
+    # The learned policy wins at large delays: pointwise up to CI noise,
+    # and strictly in the Δt ≥ 5 average.
+    large = [i for i, dt in enumerate(DELTA_TS) if dt >= 5]
+    for i in large:
+        assert mf[i] <= jsq[i] + mf_hw[i] + jsq_hw[i]
+    assert np.mean([mf[i] for i in large]) < np.mean([jsq[i] for i in large])
+    assert np.mean([mf[i] for i in large]) < np.mean([rnd[i] for i in large])

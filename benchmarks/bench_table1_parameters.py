@@ -1,0 +1,33 @@
+"""Table 1: system parameters used in the experiments.
+
+Regenerates the parameter table from the library defaults and asserts
+every published value is carried verbatim by :class:`SystemConfig`.
+"""
+
+from repro.config import paper_system_config
+from repro.experiments.tables import render_table1, table1_matches_config
+
+from conftest import run_once
+
+
+def test_table1_regeneration(benchmark, results_dir):
+    text = run_once(benchmark, render_table1)
+    checks = table1_matches_config(paper_system_config(delta_t=5.0))
+    assert all(checks.values()), {k: v for k, v in checks.items() if not v}
+    (results_dir / "table1.txt").write_text(text + "\n")
+    print("\n" + text)
+
+
+def test_table1_eval_lengths_span_paper_range(benchmark):
+    """T_e = round(500/Δt) spans 50..500 over Δt ∈ [1, 10] (Table 1 row)."""
+
+    def eval_lengths():
+        return [
+            paper_system_config(delta_t=dt).resolved_eval_length()
+            for dt in range(1, 11)
+        ]
+
+    lengths = run_once(benchmark, eval_lengths)
+    assert max(lengths) == 500
+    assert min(lengths) == 50
+    assert lengths == sorted(lengths, reverse=True)

@@ -1,0 +1,92 @@
+"""Ablation A5: Theorem-1 convergence rates, numerically.
+
+Measures sup_t ‖H_t − ν_t‖₁ (trajectory gap to the mean field,
+conditioned on a common arrival-mode script, as in the proof) for both
+finite systems across system sizes, and checks the two limits that the
+proof composes:
+
+* queue limit: gap ↓ as M grows with N = M² (both systems),
+* client limit: at fixed M, the N-client system approaches the
+  infinite-client system as N grows.
+"""
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.meanfield.convergence import trajectory_gap
+from repro.policies.static import JoinShortestQueuePolicy
+from repro.utils.tables import format_table
+
+from conftest import run_once
+
+EPOCHS = 25
+SEEDS = 3
+
+
+def _gap(cfg, system, modes):
+    vals = [
+        trajectory_gap(
+            cfg, JoinShortestQueuePolicy(6, 2), EPOCHS,
+            system=system, mode_sequence=modes, seed=s,
+        ).sup_l1_gap
+        for s in range(SEEDS)
+    ]
+    return float(np.mean(vals))
+
+
+def _run():
+    modes = np.zeros(EPOCHS, dtype=int)
+    m_grid = (10, 40, 160)
+    rows = []
+    for m in m_grid:
+        cfg = SystemConfig(num_queues=m, num_clients=m * m, delta_t=3.0)
+        rows.append(
+            [
+                m,
+                m * m,
+                _gap(cfg, "finite", modes),
+                _gap(cfg, "infinite-clients", modes),
+            ]
+        )
+    # client-limit leg at fixed M
+    m_fix = 40
+    client_rows = []
+    for n in (20, 200, 20000):
+        cfg = SystemConfig(num_queues=m_fix, num_clients=n, delta_t=3.0)
+        client_rows.append([n, _gap(cfg, "finite", modes)])
+    inf_gap = _gap(
+        SystemConfig(num_queues=m_fix, num_clients=10, delta_t=3.0),
+        "infinite-clients",
+        modes,
+    )
+    return rows, client_rows, inf_gap
+
+
+def test_theorem1_gap_decay(benchmark, results_dir):
+    rows, client_rows, inf_gap = run_once(benchmark, _run)
+
+    finite_gaps = [r[2] for r in rows]
+    infinite_gaps = [r[3] for r in rows]
+    # queue limit: gaps shrink by at least 2x over the 16x M range
+    assert finite_gaps[-1] < finite_gaps[0] / 2
+    assert infinite_gaps[-1] < infinite_gaps[0] / 2
+    # client limit at fixed M: more clients -> closer to the N=inf system
+    client_gaps = [r[1] for r in client_rows]
+    assert client_gaps[-1] < client_gaps[0]
+    assert abs(client_gaps[-1] - inf_gap) < 0.15
+
+    table_a = format_table(
+        ["M", "N=M²", "sup-gap (finite)", "sup-gap (∞ clients)"],
+        [[r[0], r[1], f"{r[2]:.4f}", f"{r[3]:.4f}"] for r in rows],
+        title="Ablation A5a: queue-limit leg of Theorem 1 (Δt=3, JSQ(2))",
+    )
+    table_b = format_table(
+        ["N (M=40 fixed)", "sup-gap (finite)"],
+        [[r[0], f"{r[1]:.4f}"] for r in client_rows]
+        + [["∞ (limit system)", f"{inf_gap:.4f}"]],
+        title="Ablation A5b: client-limit leg of Theorem 1",
+    )
+    (results_dir / "theorem1_gaps.txt").write_text(
+        table_a + "\n\n" + table_b + "\n"
+    )
+    print("\n" + table_a + "\n\n" + table_b)

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""How large must a cluster be before the mean-field model is accurate?
+
+A capacity planner wants to use the (cheap, deterministic) mean-field
+model to predict packet-drop rates instead of running many stochastic
+cluster simulations. This example quantifies when that is sound: it
+simulates clusters of increasing size M (with N = M² dispatchers),
+measures cumulative per-queue drops under the learned MF policy, and
+compares against the mean-field prediction — the Figure 4 experiment,
+plus the per-epoch ‖H_t − ν_t‖₁ trajectory gaps behind Theorem 1.
+
+Run:
+    python examples/datacenter_scaling.py [--delta-t 5] [--m-grid 25,50,100,200]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.config import paper_system_config
+from repro.experiments.fig4_convergence import run_fig4
+from repro.experiments.pretrained import get_mf_policy
+from repro.meanfield.convergence import trajectory_gap
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--delta-t", type=float, default=5.0)
+    parser.add_argument("--m-grid", default="25,50,100,200")
+    parser.add_argument("--runs", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    m_grid = tuple(int(x) for x in args.m_grid.split(","))
+
+    policy, source = get_mf_policy(args.delta_t, seed=args.seed)
+    print(f"MF policy source: {source}\n")
+
+    result = run_fig4(
+        delta_t=args.delta_t,
+        m_grid=m_grid,
+        num_runs=args.runs,
+        policy=policy,
+        seed=args.seed,
+    )
+    print(result.format_table())
+    gaps = result.gaps()
+    print(
+        f"\nGap to the mean-field value: {gaps[0]:.2f} at M={m_grid[0]} -> "
+        f"{gaps[-1]:.2f} at M={m_grid[-1]}"
+        + ("  (converging ✓)" if result.converges() else "")
+    )
+
+    # Theorem-1 view: per-trajectory distribution gaps, conditioned on one
+    # common arrival-mode sequence.
+    print("\nPer-trajectory sup_t ||H_t - nu_t||_1 (Theorem 1, 3 seeds each):")
+    num_epochs = max(1, round(200.0 / args.delta_t))
+    modes = np.zeros(num_epochs, dtype=int)
+    rows = []
+    for m in m_grid:
+        cfg = paper_system_config(delta_t=args.delta_t, num_queues=m)
+        sups = [
+            trajectory_gap(
+                cfg, policy, num_epochs, mode_sequence=modes, seed=s
+            ).sup_l1_gap
+            for s in range(3)
+        ]
+        rows.append([m, m * m, f"{np.mean(sups):.4f}"])
+    print(format_table(["M", "N", "sup-gap"], rows))
+    print(
+        "\nRule of thumb from this run: once the sup-gap falls below ~0.05 "
+        "the mean-field prediction is trustworthy for capacity planning."
+    )
+
+
+if __name__ == "__main__":
+    main()

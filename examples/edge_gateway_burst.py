@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Edge-gateway scenario: bursty load with slow control-plane updates.
+
+The paper motivates Markov-modulated arrivals with "changing load
+factors throughout a day". This example pushes that knob: an edge
+deployment whose offered load alternates between a calm level and
+bursts near saturation, while the control plane only refreshes queue
+telemetry every Δt seconds. We compare policies across burst
+intensities and show the learned/optimized policy's advantage growing
+with burstiness, plus a time-resolved view of one episode (per-epoch
+drops and mean queue filling around mode switches).
+
+Run:
+    python examples/edge_gateway_burst.py [--delta-t 5] [--queues 80]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.config import paper_system_config
+from repro.meanfield.mfc_env import MeanFieldEnv
+from repro.policies.static import JoinShortestQueuePolicy, RandomPolicy
+from repro.queueing.arrivals import MarkovModulatedRate
+from repro.queueing.env import FiniteSystemEnv, run_episode
+from repro.rl.cem import optimize_constant_rule
+from repro.utils.stats import mean_confidence_interval
+from repro.utils.tables import format_table
+
+
+def build_arrivals(burst_rate: float, calm_rate: float) -> MarkovModulatedRate:
+    """Bursty modulating chain: short intense bursts, longer calm spells."""
+    return MarkovModulatedRate(
+        levels=[burst_rate, calm_rate],
+        transition_matrix=[[0.6, 0.4], [0.15, 0.85]],
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--delta-t", type=float, default=5.0)
+    parser.add_argument("--queues", type=int, default=80)
+    parser.add_argument("--runs", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    config = paper_system_config(delta_t=args.delta_t, num_queues=args.queues)
+    num_epochs = config.resolved_eval_length()
+    s, d = config.num_queue_states, config.d
+
+    print("Sweeping burst intensity (calm load fixed at 0.5):\n")
+    rows = []
+    for burst in (0.8, 1.0, 1.2):
+        arrivals = build_arrivals(burst, 0.5)
+        # Optimize a policy for THIS arrival process on the mean-field MDP.
+        mfc_env = MeanFieldEnv(
+            config,
+            horizon=num_epochs,
+            propagator="tabulated",
+            arrival_process=build_arrivals(burst, 0.5),
+            seed=args.seed,
+        )
+        learned = optimize_constant_rule(
+            mfc_env, generations=8, population=20,
+            episodes_per_candidate=2, seed=args.seed,
+        ).policy
+        policies = {
+            "LEARNED": learned,
+            "JSQ(2)": JoinShortestQueuePolicy(s, d),
+            "RND": RandomPolicy(s, d),
+        }
+        cells = [f"burst λ={burst:g}"]
+        for name, policy in policies.items():
+            drops = []
+            for run in range(args.runs):
+                env = FiniteSystemEnv(
+                    config,
+                    arrival_process=build_arrivals(burst, 0.5),
+                    seed=args.seed + run,
+                )
+                drops.append(
+                    run_episode(env, policy, num_epochs, seed=run).total_drops_per_queue
+                )
+            ci = mean_confidence_interval(drops)
+            cells.append(f"{ci.mean:.1f}±{ci.half_width:.1f}")
+        rows.append(cells)
+    print(format_table(["Scenario", "LEARNED", "JSQ(2)", "RND"], rows))
+
+    # Time-resolved single episode at the highest burst level.
+    print("\nOne episode, time-resolved (burst λ=1.2, learned policy):")
+    env = FiniteSystemEnv(
+        config, arrival_process=build_arrivals(1.2, 0.5), seed=args.seed
+    )
+    env.reset(seed=args.seed)
+    print(f"{'epoch':>5} {'mode':>5} {'mean fill':>10} {'drops':>8}")
+    for t in range(min(20, num_epochs)):
+        mode = "burst" if env.lam_mode == 0 else "calm"
+        _, _, info = env.step_with_policy(
+            JoinShortestQueuePolicy(s, d)
+        )
+        fill = float(env.queue_states.mean())
+        bar = "#" * int(round(info["drops_per_queue"] * 20))
+        print(f"{t:5d} {mode:>5} {fill:10.2f} {info['drops_per_queue']:8.3f} {bar}")
+    print(
+        "\nDrops cluster in burst epochs; with larger Δt the policy reacts "
+        "a full epoch late, which is exactly the regime where learned "
+        "routing pays off."
+    )
+
+
+if __name__ == "__main__":
+    main()

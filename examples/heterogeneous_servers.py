@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Mixed server generations: SED(d) vs JSQ(d) vs RND under delay.
+
+Real clusters mix fast and slow machines. The paper's §5 names
+heterogeneous service rates as a straightforward extension of its model;
+this example exercises exactly that extension: half the servers run at
+rate α=0.5, half at α=2.0, and dispatchers observe (filling, class)
+pairs for their d sampled queues. Shortest-Expected-Delay routing —
+minimize (z+1)/α — exploits the fast machines, while class-blind JSQ
+treats all queues alike.
+
+Run:
+    python examples/heterogeneous_servers.py [--queues 60] [--delta-t 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.config import paper_system_config
+from repro.queueing.heterogeneous import (
+    HeterogeneousFiniteEnv,
+    ServerClassSpec,
+    jsq_rule_heterogeneous,
+    rnd_rule_heterogeneous,
+    sed_rule,
+)
+from repro.utils.stats import mean_confidence_interval
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--queues", type=int, default=60)
+    parser.add_argument("--delta-t", type=float, default=2.0)
+    parser.add_argument("--runs", type=int, default=5)
+    parser.add_argument("--slow-rate", type=float, default=0.5)
+    parser.add_argument("--fast-rate", type=float, default=2.0)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    spec = ServerClassSpec(
+        service_rates=(args.slow_rate, args.fast_rate),
+        fractions=(0.5, 0.5),
+    )
+    config = paper_system_config(
+        delta_t=args.delta_t, num_queues=args.queues
+    )
+    print(
+        f"Cluster: {args.queues} servers, half at α={args.slow_rate:g} and "
+        f"half at α={args.fast_rate:g} (mean {spec.mean_service_rate():g}); "
+        f"Δt={args.delta_t:g}, N={config.num_clients} dispatchers.\n"
+    )
+
+    rules = {
+        "SED(2)": sed_rule(spec, config.buffer_size, config.d),
+        "JSQ(2)": jsq_rule_heterogeneous(spec, config.buffer_size, config.d),
+        "RND": rnd_rule_heterogeneous(spec, config.buffer_size, config.d),
+    }
+    num_epochs = config.resolved_eval_length()
+    rows = []
+    for name, rule in rules.items():
+        drops = []
+        for run in range(args.runs):
+            env = HeterogeneousFiniteEnv(config, spec, seed=args.seed + run)
+            drops.append(env.run_episode(rule, num_epochs, seed=args.seed + run))
+        ci = mean_confidence_interval(drops)
+        rows.append([name, f"{ci.mean:.2f}", f"±{ci.half_width:.2f}"])
+    rows.sort(key=lambda r: float(r[1]))
+    print(
+        format_table(
+            ["Rule", "Packet drops / queue", "95% CI"],
+            rows,
+            title=f"Cumulative drops over ~{num_epochs * args.delta_t:.0f} time units",
+        )
+    )
+    print(
+        "\nSED exploits server-speed information that JSQ ignores; with "
+        "strongly mixed fleets the gap widens. Try --slow-rate 0.25 "
+        "--fast-rate 4.0 to exaggerate it, or --delta-t 8 to watch stale "
+        "state erode greedy routing here too."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Quickstart: compare load-balancing policies under delayed information.
+
+Builds the paper's system (M parallel finite-buffer queues, N = M²
+dispatchers that only see queue states every Δt time units), runs the
+three policies of Section 4 — the learned mean-field (MF) policy,
+power-of-two JSQ(2), and uniform RND — and prints cumulative per-queue
+packet drops with 95% confidence intervals.
+
+Run:
+    python examples/quickstart.py [--delta-t 5] [--queues 100] [--runs 5]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.config import paper_system_config
+from repro.experiments.pretrained import get_mf_policy
+from repro.experiments.runner import evaluate_policy_finite, policy_suite
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--delta-t", type=float, default=5.0)
+    parser.add_argument("--queues", type=int, default=100)
+    parser.add_argument("--runs", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    config = paper_system_config(
+        delta_t=args.delta_t, num_queues=args.queues
+    )
+    print(
+        f"System: M={config.num_queues} queues, N={config.num_clients} "
+        f"clients, B={config.buffer_size}, d={config.d}, Δt={config.delta_t:g}"
+    )
+    print(
+        f"Evaluating over {config.resolved_eval_length()} decision epochs "
+        f"(~{config.total_eval_time():.0f} time units), {args.runs} runs each.\n"
+    )
+
+    mf_policy, source = get_mf_policy(args.delta_t, seed=args.seed)
+    print(f"MF policy source: {source}\n")
+
+    rows = []
+    for name, policy in policy_suite(config, mf_policy=mf_policy).items():
+        result = evaluate_policy_finite(
+            config, policy, num_runs=args.runs, seed=args.seed
+        )
+        rows.append(
+            [
+                name,
+                f"{result.mean_drops:.2f}",
+                f"±{result.interval.half_width:.2f}",
+            ]
+        )
+    rows.sort(key=lambda r: float(r[1]))
+    print(
+        format_table(
+            ["Policy", "Packet drops / queue", "95% CI"],
+            rows,
+            title="Cumulative per-queue packet drops (lower is better)",
+        )
+    )
+    best = rows[0][0]
+    print(
+        f"\nAt Δt={args.delta_t:g} the best policy is {best}. The paper's "
+        "finding: JSQ(2) wins for Δt ≤ 2, the learned MF policy from "
+        "intermediate delays on."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Packaged artifacts: pretrained MF policy checkpoints.
+
+Checkpoints are produced by ``scripts/pretrain_policies.py`` (PPO on the
+mean-field MDP, one policy per synchronization delay) and shipped as
+``policies/mf_dt{delta_t}.npz``. See
+:mod:`repro.experiments.pretrained` for the lookup logic.
+"""
+
+from pathlib import Path
+
+ASSETS_DIR = Path(__file__).resolve().parent
+POLICY_DIR = ASSETS_DIR / "policies"
+
+__all__ = ["ASSETS_DIR", "POLICY_DIR"]

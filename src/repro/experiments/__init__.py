@@ -1,0 +1,45 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+One module per artifact:
+
+* :mod:`repro.experiments.tables` — Table 1 / Table 2 parameter tables.
+* :mod:`repro.experiments.fig3_training` — Figure 3 PPO training curve.
+* :mod:`repro.experiments.fig4_convergence` — Figure 4 mean-field
+  convergence over system size.
+* :mod:`repro.experiments.fig5_delay_sweep` — Figure 5 policy comparison
+  over the synchronization delay.
+* :mod:`repro.experiments.fig6_small_n` — Figure 6 with the ``N ≫ M``
+  assumption violated.
+* :mod:`repro.experiments.pretrained` — registry of trained MF policies
+  (packaged PPO checkpoints, CEM fallback).
+* :mod:`repro.experiments.runner` — shared Monte-Carlo machinery.
+"""
+
+from repro.experiments.runner import (
+    MonteCarloResult,
+    evaluate_policy_finite,
+    policy_suite,
+)
+from repro.experiments.tables import render_table1, render_table2
+from repro.experiments.pretrained import get_mf_policy
+from repro.experiments.fig3_training import TrainingCurveResult, run_fig3
+from repro.experiments.fig4_convergence import Fig4Result, run_fig4
+from repro.experiments.fig5_delay_sweep import Fig5Result, run_fig5
+from repro.experiments.fig6_small_n import Fig6Result, run_fig6
+
+__all__ = [
+    "MonteCarloResult",
+    "evaluate_policy_finite",
+    "policy_suite",
+    "render_table1",
+    "render_table2",
+    "get_mf_policy",
+    "TrainingCurveResult",
+    "run_fig3",
+    "Fig4Result",
+    "run_fig4",
+    "Fig5Result",
+    "run_fig5",
+    "Fig6Result",
+    "run_fig6",
+]

@@ -1,0 +1,137 @@
+"""Command-line interface for the experiment harness.
+
+Regenerate any paper artifact from a shell::
+
+    python -m repro.experiments.cli table1
+    python -m repro.experiments.cli table2
+    python -m repro.experiments.cli fig3 --iterations 10
+    python -m repro.experiments.cli fig4 --delta-t 5 --m-grid 25,50,100
+    python -m repro.experiments.cli fig5 --queues 100 --runs 5
+    python -m repro.experiments.cli fig6 --queues 100 --runs 5
+
+Each command prints the regenerated ASCII table and, with ``--csv PATH``,
+writes the underlying series for external plotting. Grids default to
+bench scale; pass paper-scale values explicitly for a full reproduction.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.experiments.fig3_training import run_fig3
+from repro.experiments.fig4_convergence import run_fig4
+from repro.experiments.fig5_delay_sweep import run_fig5
+from repro.experiments.fig6_small_n import run_fig6
+from repro.experiments.tables import render_table1, render_table2
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_floats(text: str) -> tuple[float, ...]:
+    return tuple(float(x) for x in text.split(",") if x.strip())
+
+
+def _parse_ints(text: str) -> tuple[int, ...]:
+    return tuple(int(x) for x in text.split(",") if x.strip())
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments", description=__doc__
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table 1: system parameters")
+    sub.add_parser("table2", help="Table 2: PPO hyperparameters")
+
+    p3 = sub.add_parser("fig3", help="Figure 3: PPO training curve")
+    p3.add_argument("--delta-t", type=float, default=5.0)
+    p3.add_argument("--iterations", type=int, default=10)
+    p3.add_argument("--horizon", type=int, default=100)
+    p3.add_argument("--seed", type=int, default=0)
+    p3.add_argument("--csv", type=Path, default=None)
+
+    p4 = sub.add_parser("fig4", help="Figure 4: mean-field convergence")
+    p4.add_argument("--delta-t", type=float, default=5.0)
+    p4.add_argument("--m-grid", type=_parse_ints, default=(25, 50, 100))
+    p4.add_argument("--runs", type=int, default=5)
+    p4.add_argument("--seed", type=int, default=0)
+    p4.add_argument("--csv", type=Path, default=None)
+
+    p5 = sub.add_parser("fig5", help="Figure 5: delay sweep")
+    p5.add_argument("--queues", type=int, default=100)
+    p5.add_argument(
+        "--delta-ts", type=_parse_floats,
+        default=tuple(float(x) for x in range(1, 11)),
+    )
+    p5.add_argument("--runs", type=int, default=5)
+    p5.add_argument("--seed", type=int, default=0)
+    p5.add_argument("--csv", type=Path, default=None)
+
+    p6 = sub.add_parser("fig6", help="Figure 6: N >> M violated")
+    p6.add_argument("--queues", type=int, default=100)
+    p6.add_argument(
+        "--delta-ts", type=_parse_floats,
+        default=tuple(float(x) for x in range(1, 11)),
+    )
+    p6.add_argument("--runs", type=int, default=5)
+    p6.add_argument("--seed", type=int, default=0)
+    p6.add_argument("--csv", type=Path, default=None)
+    return parser
+
+
+def _emit(text: str, result, csv_path: Path | None) -> None:
+    print(text)
+    if csv_path is not None and result is not None:
+        csv_path.parent.mkdir(parents=True, exist_ok=True)
+        csv_path.write_text(result.to_csv() + "\n")
+        print(f"\n[csv written to {csv_path}]")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "table1":
+        print(render_table1())
+    elif args.command == "table2":
+        print(render_table2())
+    elif args.command == "fig3":
+        result = run_fig3(
+            delta_t=args.delta_t,
+            iterations=args.iterations,
+            horizon=args.horizon,
+            seed=args.seed,
+        )
+        _emit(result.format_table(), result, args.csv)
+    elif args.command == "fig4":
+        result = run_fig4(
+            delta_t=args.delta_t,
+            m_grid=args.m_grid,
+            num_runs=args.runs,
+            seed=args.seed,
+        )
+        _emit(result.format_table(), result, args.csv)
+    elif args.command == "fig5":
+        result = run_fig5(
+            num_queues=args.queues,
+            delta_ts=args.delta_ts,
+            num_runs=args.runs,
+            seed=args.seed,
+        )
+        _emit(result.format_table(), result, args.csv)
+    elif args.command == "fig6":
+        result = run_fig6(
+            num_queues=args.queues,
+            delta_ts=args.delta_ts,
+            num_runs=args.runs,
+            seed=args.seed,
+        )
+        _emit(result.format_table(), result, args.csv)
+    else:  # pragma: no cover - argparse enforces choices
+        raise AssertionError(f"unhandled command {args.command!r}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""Shared Monte-Carlo evaluation machinery for the figure experiments.
+
+The paper evaluates every policy with ``n`` independent simulations of
+the finite system and reports the mean cumulative per-queue packet drops
+with 95% confidence intervals. :func:`evaluate_policy_finite` is that
+loop; :func:`policy_suite` builds the standard comparison set
+(MF / JSQ(2) / RND) used by Figures 5 and 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.queueing.env import FiniteSystemEnv, run_episode
+from repro.utils.rng import spawn_generators
+from repro.utils.stats import ConfidenceInterval, mean_confidence_interval
+
+if TYPE_CHECKING:
+    from repro.policies.base import UpperLevelPolicy
+
+__all__ = ["MonteCarloResult", "evaluate_policy_finite", "policy_suite"]
+
+
+@dataclass
+class MonteCarloResult:
+    """Aggregate of ``n`` finite-system evaluation episodes."""
+
+    policy_name: str
+    config: SystemConfig
+    drops: np.ndarray  # per-run cumulative per-queue drops
+    interval: ConfidenceInterval
+
+    @property
+    def mean_drops(self) -> float:
+        return self.interval.mean
+
+
+def evaluate_policy_finite(
+    config: SystemConfig,
+    policy: "UpperLevelPolicy",
+    num_runs: int | None = None,
+    num_epochs: int | None = None,
+    seed=0,
+    env_cls=FiniteSystemEnv,
+    env_kwargs: dict | None = None,
+) -> MonteCarloResult:
+    """Monte-Carlo estimate of cumulative per-queue drops (Figures 4-6).
+
+    Each run uses an independent generator spawned from ``seed``; the
+    environment is rebuilt per run so runs are fully independent.
+    """
+    runs = int(num_runs if num_runs is not None else config.monte_carlo_runs)
+    if runs < 1:
+        raise ValueError("num_runs must be >= 1")
+    rngs = spawn_generators(seed, runs)
+    drops = np.empty(runs)
+    for i, rng in enumerate(rngs):
+        env = env_cls(config, seed=rng, **(env_kwargs or {}))
+        result = run_episode(env, policy, num_epochs=num_epochs, seed=rng)
+        drops[i] = result.total_drops_per_queue
+    return MonteCarloResult(
+        policy_name=policy.name,
+        config=config,
+        drops=drops,
+        interval=mean_confidence_interval(drops),
+    )
+
+
+def policy_suite(
+    config: SystemConfig,
+    mf_policy: "UpperLevelPolicy | None" = None,
+) -> dict[str, "UpperLevelPolicy"]:
+    """The paper's comparison set: MF (if given), JSQ(d), RND."""
+    from repro.policies.static import JoinShortestQueuePolicy, RandomPolicy
+
+    suite: dict[str, "UpperLevelPolicy"] = {}
+    if mf_policy is not None:
+        suite["MF"] = mf_policy
+    suite[f"JSQ({config.d})"] = JoinShortestQueuePolicy(
+        config.num_queue_states, config.d
+    )
+    suite["RND"] = RandomPolicy(config.num_queue_states, config.d)
+    return suite

@@ -1,0 +1,61 @@
+"""Mean-field control model: decision rules, exact discretization, MFC MDP.
+
+This package implements Sections 2.2-2.5 of the paper: the infinite
+agent/queue limit of the load-balancing system, its exact discretization
+via matrix exponentials of frozen-rate birth-death generators, and the
+resulting upper-level Markov decision process on ``P(Z) x Lambda``.
+"""
+
+from repro.meanfield.decision_rule import DecisionRule
+from repro.meanfield.discretization import (
+    ExactPropagator,
+    TabulatedPropagator,
+    birth_death_generator,
+    epoch_update,
+    extended_generator,
+    per_state_arrival_rates,
+    propagate_state,
+)
+from repro.meanfield.mfc_env import MeanFieldEnv, MeanFieldState, observation_dim
+from repro.meanfield.analytic import (
+    mm1b_loss_probability,
+    mm1b_stationary_distribution,
+    mmpp_stationary_distribution,
+)
+from repro.meanfield.heterogeneous import HeterogeneousMeanFieldModel
+from repro.meanfield.stationary import (
+    StationaryResult,
+    stationary_distribution,
+    stationary_drops,
+)
+from repro.meanfield.convergence import (
+    TrajectoryGap,
+    empirical_distribution,
+    mean_field_trajectory,
+    trajectory_gap,
+)
+
+__all__ = [
+    "DecisionRule",
+    "ExactPropagator",
+    "TabulatedPropagator",
+    "birth_death_generator",
+    "extended_generator",
+    "per_state_arrival_rates",
+    "propagate_state",
+    "epoch_update",
+    "MeanFieldEnv",
+    "MeanFieldState",
+    "observation_dim",
+    "mm1b_loss_probability",
+    "mm1b_stationary_distribution",
+    "mmpp_stationary_distribution",
+    "HeterogeneousMeanFieldModel",
+    "StationaryResult",
+    "stationary_distribution",
+    "stationary_drops",
+    "TrajectoryGap",
+    "empirical_distribution",
+    "mean_field_trajectory",
+    "trajectory_gap",
+]

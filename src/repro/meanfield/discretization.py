@@ -1,0 +1,320 @@
+"""Exact discretization of the mean-field dynamics (paper Section 2.4).
+
+Within one decision epoch of length ``Δt`` every queue evolves as a
+birth-death CTMC whose arrival rate is *frozen* at the value implied by
+its state at the epoch start:
+
+    λ_t(ν, z) = λ_t · Σ_u Σ_{z̄ : z̄_u = z} Π_{i≠u} ν(z̄_i) · h(u | z̄)
+
+(Eq. 22, in the ν(z)-cancelled form that also appears in the proof of
+Theorem 1 — this removes the 0/0 issue when ``ν(z) = 0``). The epoch map
+``ν_t → ν_{t+1}`` and the expected per-queue drops ``D_t`` then follow
+from one matrix exponential of the extended generator per initial state
+(Eq. 27-28):
+
+    [P_z(Δt), D_z(Δt)] = [e_z, 0] · expm(Ā(ν_t, z) Δt)
+
+with the ``(S+1) x (S+1)`` block matrix ``Ā = [[G, r], [0, 0]]`` where
+``G`` is the row-stochastic birth-death generator and ``r = λ_t(ν,z)·e_B``
+accumulates the drop flux (arrivals occurring while the queue sits at its
+buffer limit ``B``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import expm
+
+from repro.meanfield.decision_rule import DecisionRule
+
+__all__ = [
+    "per_state_arrival_rates",
+    "birth_death_generator",
+    "extended_generator",
+    "propagate_state",
+    "epoch_update",
+    "ExactPropagator",
+    "TabulatedPropagator",
+    "uniformization_transition_matrix",
+]
+
+
+def per_state_arrival_rates(
+    nu: np.ndarray, rule: DecisionRule, lam: float
+) -> np.ndarray:
+    """Frozen per-queue arrival rate ``λ_t(ν, z)`` for every ``z`` (Eq. 22).
+
+    For each action slot ``u`` the inner sum is a tensor contraction of
+    ``h(u | ·)`` with ``ν`` along every state axis except axis ``u``; the
+    result is indexed by the state in slot ``u``.
+
+    The returned vector satisfies the *arrival-mass identity*
+    ``Σ_z ν(z) λ(ν,z) = λ`` for any row-stochastic rule — thinning the
+    global Poisson stream of rate ``M λ`` over queues loses no mass.
+    """
+    nu = np.asarray(nu, dtype=np.float64)
+    if nu.shape != (rule.num_states,):
+        raise ValueError(
+            f"nu has shape {nu.shape}, expected ({rule.num_states},)"
+        )
+    if lam < 0:
+        raise ValueError(f"arrival intensity must be >= 0, got {lam}")
+    d = rule.d
+    total = np.zeros(rule.num_states)
+    for u in range(d):
+        t = rule.probs[..., u]
+        # Contract axes in descending order so that remaining axis indices
+        # stay valid; skip the slot-u axis, which carries the output index.
+        for axis in range(d - 1, -1, -1):
+            if axis == u:
+                continue
+            t = np.tensordot(t, nu, axes=([axis], [0]))
+        total += t
+    return lam * total
+
+
+def birth_death_generator(
+    arrival: float, service: float, num_states: int
+) -> np.ndarray:
+    """Row-convention generator of the finite-buffer birth-death chain.
+
+    State space ``{0, ..., B}`` with ``B = num_states - 1``; up-jumps at
+    ``arrival`` (except from ``B``, where arrivals are dropped and do not
+    move the state), down-jumps at ``service`` (except from ``0``). Rows
+    sum to zero.
+    """
+    if num_states < 2:
+        raise ValueError("need at least two queue states")
+    if arrival < 0 or service < 0:
+        raise ValueError("rates must be non-negative")
+    g = np.zeros((num_states, num_states))
+    idx = np.arange(num_states - 1)
+    g[idx, idx + 1] = arrival
+    g[idx + 1, idx] = service
+    np.fill_diagonal(g, -g.sum(axis=1))
+    return g
+
+
+def extended_generator(
+    arrival: float, service: float, num_states: int
+) -> np.ndarray:
+    """``(S+1) x (S+1)`` extended generator with the drop-flux column.
+
+    The last column accumulates ``∫ arrival · P(y(s) = B) ds``; the last
+    row is zero (the accumulator is an integral, not a state).
+    """
+    g = birth_death_generator(arrival, service, num_states)
+    ext = np.zeros((num_states + 1, num_states + 1))
+    ext[:num_states, :num_states] = g
+    ext[num_states - 1, num_states] = arrival
+    return ext
+
+
+def _stacked_extended_generators(
+    arrival_rates: np.ndarray, service: float, num_states: int
+) -> np.ndarray:
+    """One extended generator per initial state, stacked on axis 0."""
+    arrival_rates = np.asarray(arrival_rates, dtype=np.float64)
+    stacked = np.zeros((arrival_rates.size, num_states + 1, num_states + 1))
+    for z, lam_z in enumerate(arrival_rates):
+        stacked[z] = extended_generator(float(lam_z), service, num_states)
+    return stacked
+
+
+def propagate_state(
+    arrival_rates: np.ndarray,
+    service: float,
+    delta_t: float,
+    num_states: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-initial-state propagator rows and expected drops (Eq. 28).
+
+    Returns
+    -------
+    transitions:
+        Array ``(S, S)`` where row ``z`` is the distribution of the queue
+        state after ``Δt`` given it started the epoch in state ``z`` (and
+        received arrivals at the frozen rate ``arrival_rates[z]``).
+    drops:
+        Array ``(S,)`` of expected packets dropped during the epoch by a
+        queue starting in state ``z``.
+    """
+    if delta_t <= 0:
+        raise ValueError(f"delta_t must be > 0, got {delta_t}")
+    stacked = _stacked_extended_generators(arrival_rates, service, num_states)
+    exp_stack = expm(stacked * delta_t)
+    rows = exp_stack[np.arange(num_states), np.arange(num_states), :]
+    transitions = rows[:, :num_states]
+    drops = rows[:, num_states]
+    return transitions, drops
+
+
+def epoch_update(
+    nu: np.ndarray,
+    rule: DecisionRule,
+    lam: float,
+    service: float,
+    delta_t: float,
+) -> tuple[np.ndarray, float]:
+    """One exact epoch of the mean-field dynamics (Eq. 24-26).
+
+    Returns ``(nu_next, expected_drops_per_queue)``.
+    """
+    nu = np.asarray(nu, dtype=np.float64)
+    rates = per_state_arrival_rates(nu, rule, lam)
+    transitions, drops = propagate_state(
+        rates, service, delta_t, rule.num_states
+    )
+    nu_next = nu @ transitions
+    # Round-off guard: the analytical update preserves the simplex exactly.
+    nu_next = np.maximum(nu_next, 0.0)
+    nu_next /= nu_next.sum()
+    expected_drops = float(nu @ drops)
+    return nu_next, expected_drops
+
+
+def uniformization_transition_matrix(
+    arrival: float,
+    service: float,
+    num_states: int,
+    delta_t: float,
+    tol: float = 1e-12,
+) -> np.ndarray:
+    """Epoch transition matrix via uniformization (validation path).
+
+    ``P(Δt) = Σ_k e^{-ΛΔt} (ΛΔt)^k / k! · U^k`` with
+    ``U = I + G/Λ`` and ``Λ ≥ max_i |G_ii|``. Truncates the Poisson sum
+    once the remaining mass falls below ``tol``. Used in tests to
+    cross-validate the ``expm`` path with an independent algorithm.
+    """
+    g = birth_death_generator(arrival, service, num_states)
+    lam_unif = float(max(-g.diagonal().min(), 1e-12))
+    u = np.eye(num_states) + g / lam_unif
+    mean_jumps = lam_unif * delta_t
+    weight = np.exp(-mean_jumps)
+    term = np.eye(num_states)
+    total = weight * term
+    accumulated = weight
+    k = 0
+    # Poisson tail bound: stop when remaining probability mass < tol.
+    while 1.0 - accumulated > tol and k < 100_000:
+        k += 1
+        term = term @ u
+        weight = weight * mean_jumps / k
+        total += weight * term
+        accumulated += weight
+    # Renormalize the truncated sum so rows are exactly stochastic.
+    total /= total.sum(axis=1, keepdims=True)
+    return total
+
+
+class ExactPropagator:
+    """Stateless exact epoch propagator (one stacked ``expm`` per call)."""
+
+    def __init__(self, num_states: int, service: float, delta_t: float) -> None:
+        if num_states < 2:
+            raise ValueError("need at least two queue states")
+        if service <= 0 or delta_t <= 0:
+            raise ValueError("service and delta_t must be > 0")
+        self.num_states = num_states
+        self.service = service
+        self.delta_t = delta_t
+
+    def propagate(
+        self, nu: np.ndarray, arrival_rates: np.ndarray
+    ) -> tuple[np.ndarray, float]:
+        transitions, drops = propagate_state(
+            arrival_rates, self.service, self.delta_t, self.num_states
+        )
+        nu = np.asarray(nu, dtype=np.float64)
+        nu_next = nu @ transitions
+        nu_next = np.maximum(nu_next, 0.0)
+        nu_next /= nu_next.sum()
+        return nu_next, float(nu @ drops)
+
+
+class TabulatedPropagator:
+    """Grid-interpolated epoch propagator (training fast path).
+
+    Pre-computes the extended matrix exponential on a uniform grid of
+    arrival-rate values and answers queries by linear interpolation of
+    the exponentials. Interpolation is a convex combination of stochastic
+    matrices, so the returned ``ν_{t+1}`` is always a valid distribution
+    and drops are always non-negative; the dynamics error is
+    ``O(grid_step²)`` and is measured explicitly in the ablation bench.
+    """
+
+    def __init__(
+        self,
+        num_states: int,
+        service: float,
+        delta_t: float,
+        max_arrival: float,
+        grid_size: int = 257,
+    ) -> None:
+        if grid_size < 2:
+            raise ValueError("grid_size must be >= 2")
+        if max_arrival <= 0:
+            raise ValueError("max_arrival must be > 0")
+        self.num_states = num_states
+        self.service = service
+        self.delta_t = delta_t
+        self.max_arrival = max_arrival
+        self.grid = np.linspace(0.0, max_arrival, grid_size)
+        self._step = self.grid[1] - self.grid[0]
+        # Table of expm rows: shape (grid, S, S+1); entry [g, z, :] is the
+        # z-th row of expm(Ā(grid[g]) Δt) (state distribution + drops).
+        table = np.empty((grid_size, num_states, num_states + 1))
+        for gi, lam_g in enumerate(self.grid):
+            stacked = extended_generator(float(lam_g), service, num_states)
+            exp_mat = expm(stacked * delta_t)
+            table[gi] = exp_mat[:num_states, :]
+        self._table = table
+
+    def _rows(self, arrival_rates: np.ndarray) -> np.ndarray:
+        """Interpolated (state-distribution + drop) rows per initial state."""
+        rates = np.asarray(arrival_rates, dtype=np.float64)
+        if rates.shape != (self.num_states,):
+            raise ValueError(
+                f"arrival_rates must have shape ({self.num_states},)"
+            )
+        if rates.min() < -1e-12 or rates.max() > self.max_arrival + 1e-9:
+            raise ValueError(
+                f"arrival rates {rates} outside tabulated range "
+                f"[0, {self.max_arrival}]"
+            )
+        pos = np.clip(rates, 0.0, self.max_arrival) / self._step
+        low = np.minimum(pos.astype(np.intp), len(self.grid) - 2)
+        frac = pos - low
+        z_idx = np.arange(self.num_states)
+        row_low = self._table[low, z_idx, :]
+        row_high = self._table[low + 1, z_idx, :]
+        return row_low * (1.0 - frac[:, None]) + row_high * frac[:, None]
+
+    def propagate(
+        self, nu: np.ndarray, arrival_rates: np.ndarray
+    ) -> tuple[np.ndarray, float]:
+        rows = self._rows(arrival_rates)
+        nu = np.asarray(nu, dtype=np.float64)
+        nu_next = nu @ rows[:, : self.num_states]
+        nu_next = np.maximum(nu_next, 0.0)
+        nu_next /= nu_next.sum()
+        return nu_next, float(nu @ rows[:, self.num_states])
+
+    def max_interpolation_error(self, probe_points: int = 100) -> float:
+        """Sup-norm error of interpolated rows at grid midpoints."""
+        worst = 0.0
+        probes = np.linspace(
+            self._step / 2.0, self.max_arrival - self._step / 2.0, probe_points
+        )
+        for lam_probe in probes:
+            exact, drops = propagate_state(
+                np.full(self.num_states, lam_probe),
+                self.service,
+                self.delta_t,
+                self.num_states,
+            )
+            exact_rows = np.concatenate([exact, drops[:, None]], axis=1)
+            approx_rows = self._rows(np.full(self.num_states, lam_probe))
+            worst = max(worst, float(np.abs(exact_rows - approx_rows).max()))
+        return worst

@@ -1,0 +1,249 @@
+"""The upper-level MFC Markov decision process (paper Section 2.5).
+
+State: ``(ν_t, λ_t) ∈ P(Z) × Λ``. Action: a lower-level decision rule
+``h_t : Z^d → P(U)``. Dynamics (Eq. 29): ``ν_{t+1} = T_ν(ν_t, λ_t, h_t)``
+via the exact discretization, and ``λ_{t+1} ~ P_λ(λ_t)``; the reward is
+the negative expected per-queue packet drops ``-D_t`` (Eq. 31).
+
+The environment exposes a gym-like ``reset``/``step`` API plus a
+``step_raw`` entry point that accepts unconstrained action vectors from
+the RL stack and normalizes them onto the simplex the way the paper does
+(Gaussian policy output + manual normalization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.meanfield.decision_rule import DecisionRule
+from repro.meanfield.discretization import (
+    ExactPropagator,
+    TabulatedPropagator,
+    per_state_arrival_rates,
+)
+from repro.queueing.arrivals import MarkovModulatedRate
+from repro.utils.rng import as_generator
+
+__all__ = ["MeanFieldEnv", "MeanFieldState", "observation_dim"]
+
+
+@dataclass(frozen=True)
+class MeanFieldState:
+    """Immutable snapshot of the MFC MDP state."""
+
+    nu: np.ndarray
+    lam_mode: int
+    t: int
+
+    def copy(self) -> "MeanFieldState":
+        return MeanFieldState(self.nu.copy(), self.lam_mode, self.t)
+
+
+def observation_dim(config: SystemConfig, num_modes: int = 2) -> int:
+    """Flat observation size: ``ν`` (S floats) + one-hot arrival mode."""
+    return config.num_queue_states + num_modes
+
+
+class MeanFieldEnv:
+    """Mean-field control MDP for delayed-information load balancing.
+
+    Parameters
+    ----------
+    config:
+        System parameters (buffer size, rates, ``Δt``, ``d``, ...).
+    horizon:
+        Episode length in decision epochs; defaults to
+        ``config.episode_length`` (the paper's ``T = 500``).
+    propagator:
+        ``"exact"`` (one stacked matrix exponential per step) or
+        ``"tabulated"`` (grid-interpolated exponentials, ~10x faster,
+        error measured by
+        :meth:`repro.meanfield.discretization.TabulatedPropagator.max_interpolation_error`).
+    arrival_process:
+        Optional custom modulating chain; defaults to the two-level chain
+        of Eq. (32)-(33) built from ``config``.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        horizon: int | None = None,
+        propagator: str = "exact",
+        arrival_process: MarkovModulatedRate | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        self.config = config
+        self.horizon = int(horizon if horizon is not None else config.episode_length)
+        if self.horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {self.horizon}")
+        self.arrivals = (
+            arrival_process
+            if arrival_process is not None
+            else MarkovModulatedRate.from_config(config)
+        )
+        s = config.num_queue_states
+        if propagator == "exact":
+            self._propagator = ExactPropagator(
+                s, config.service_rate, config.delta_t
+            )
+        elif propagator == "tabulated":
+            # Frozen arrival rates are bounded by d * λ_max (Section 3:
+            # λ_t(ν, z) <= d λ_t); keep a small safety margin.
+            max_arrival = config.d * self.arrivals.max_rate() * (1.0 + 1e-9)
+            self._propagator = TabulatedPropagator(
+                s, config.service_rate, config.delta_t, max_arrival
+            )
+        else:
+            raise ValueError(
+                f"unknown propagator {propagator!r}; use 'exact' or 'tabulated'"
+            )
+        self.propagator_kind = propagator
+        self._rng = as_generator(seed)
+        self._nu: np.ndarray | None = None
+        self._lam_mode: int = 0
+        self._t: int = 0
+
+    # ------------------------------------------------------------------
+    # Spaces
+    # ------------------------------------------------------------------
+    @property
+    def num_queue_states(self) -> int:
+        return self.config.num_queue_states
+
+    @property
+    def num_modes(self) -> int:
+        return self.arrivals.num_modes
+
+    @property
+    def observation_size(self) -> int:
+        return self.num_queue_states + self.num_modes
+
+    @property
+    def action_size(self) -> int:
+        """Flat size of a raw action: ``S^d * d`` (full rule table)."""
+        return self.num_queue_states**self.config.d * self.config.d
+
+    # ------------------------------------------------------------------
+    # State access
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> MeanFieldState:
+        if self._nu is None:
+            raise RuntimeError("environment must be reset before use")
+        return MeanFieldState(self._nu.copy(), self._lam_mode, self._t)
+
+    @property
+    def current_rate(self) -> float:
+        return self.arrivals.rate(self._lam_mode)
+
+    def observation(self) -> np.ndarray:
+        """Flat observation: ``[ν, one_hot(λ mode)]``."""
+        if self._nu is None:
+            raise RuntimeError("environment must be reset before use")
+        one_hot = np.zeros(self.num_modes)
+        one_hot[self._lam_mode] = 1.0
+        return np.concatenate([self._nu, one_hot])
+
+    def set_state(self, nu: np.ndarray, lam_mode: int, t: int = 0) -> None:
+        """Force an arbitrary state (used by convergence analysis/tests)."""
+        nu = np.asarray(nu, dtype=np.float64)
+        if nu.shape != (self.num_queue_states,):
+            raise ValueError(f"nu must have shape ({self.num_queue_states},)")
+        if np.any(nu < -1e-12) or not np.isclose(nu.sum(), 1.0):
+            raise ValueError("nu must be a probability vector")
+        if not 0 <= lam_mode < self.num_modes:
+            raise ValueError(f"lam_mode {lam_mode} out of range")
+        self._nu = np.maximum(nu, 0.0)
+        self._nu /= self._nu.sum()
+        self._lam_mode = int(lam_mode)
+        self._t = int(t)
+
+    # ------------------------------------------------------------------
+    # Dynamics
+    # ------------------------------------------------------------------
+    def reset(self, seed: int | np.random.Generator | None = None) -> np.ndarray:
+        """Start a fresh episode: ``ν_0 = δ_{z0}``, ``λ_0 ~ Unif``."""
+        if seed is not None:
+            self._rng = as_generator(seed)
+        nu0 = np.zeros(self.num_queue_states)
+        nu0[self.config.initial_state] = 1.0
+        self._nu = nu0
+        self._lam_mode = self.arrivals.sample_initial_mode(self._rng)
+        self._t = 0
+        return self.observation()
+
+    def step(self, rule: DecisionRule) -> tuple[np.ndarray, float, bool, dict]:
+        """Apply decision rule ``h_t`` for one epoch.
+
+        Returns ``(observation, reward, done, info)`` with
+        ``reward = -drop_penalty * D_t`` (per-queue expected drops) and
+        ``done`` marking the horizon truncation.
+        """
+        if self._nu is None:
+            raise RuntimeError("environment must be reset before use")
+        if rule.num_states != self.num_queue_states or rule.d != self.config.d:
+            raise ValueError(
+                f"rule has (S={rule.num_states}, d={rule.d}), environment "
+                f"expects (S={self.num_queue_states}, d={self.config.d})"
+            )
+        lam = self.current_rate
+        rates = per_state_arrival_rates(self._nu, rule, lam)
+        nu_next, drops = self._propagator.propagate(self._nu, rates)
+        self._nu = nu_next
+        self._lam_mode = self.arrivals.step_mode(self._lam_mode, self._rng)
+        self._t += 1
+        done = self._t >= self.horizon
+        reward = -self.config.drop_penalty * drops
+        info = {
+            "drops": drops,
+            "arrival_rates": rates,
+            "lam": lam,
+            "t": self._t,
+            # The MDP is infinite-horizon discounted; episode ends are
+            # always time-limit truncations (bootstrapped by the RL stack).
+            "truncated": done,
+        }
+        return self.observation(), reward, done, info
+
+    def step_raw(self, raw_action: np.ndarray) -> tuple[np.ndarray, float, bool, dict]:
+        """Step with an unconstrained action vector (RL interface)."""
+        rule = DecisionRule.from_raw(
+            raw_action, self.num_queue_states, self.config.d
+        )
+        return self.step(rule)
+
+    # ------------------------------------------------------------------
+    # Evaluation helpers
+    # ------------------------------------------------------------------
+    def rollout_return(
+        self,
+        policy,
+        num_steps: int | None = None,
+        discount: float | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> float:
+        """Total (optionally discounted) reward of ``policy`` over one episode.
+
+        ``policy`` is an upper-level policy exposing
+        ``decision_rule(nu, lam_mode, rng)`` (see
+        :mod:`repro.policies.base`). The only randomness in the MFC MDP
+        is the modulating chain, so a handful of rollouts estimates the
+        expected return tightly.
+        """
+        rng = as_generator(seed)
+        steps = int(num_steps if num_steps is not None else self.horizon)
+        self.reset(rng)
+        total = 0.0
+        weight = 1.0
+        for _ in range(steps):
+            rule = policy.decision_rule(self._nu, self._lam_mode, rng)
+            _, reward, done, _ = self.step(rule)
+            total += weight * reward
+            if discount is not None:
+                weight *= discount
+            if done:
+                break
+        return total

@@ -1,0 +1,42 @@
+"""Common interface for upper-level policies (paper Figure 2).
+
+An upper-level policy maps the observed queue-state distribution (the
+mean field ``ν_t`` in the limit model, or the empirical distribution
+``H^M_t`` in the finite system) and the current arrival mode to a
+lower-level decision rule ``h_t``. Stochastic upper-level policies (the
+PPO policy explores over ``P(H)``) consume the supplied generator;
+deterministic ones ignore it.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.meanfield.decision_rule import DecisionRule
+
+__all__ = ["UpperLevelPolicy"]
+
+
+class UpperLevelPolicy(abc.ABC):
+    """Abstract upper-level policy ``π̃(ν, λ) = h``."""
+
+    @abc.abstractmethod
+    def decision_rule(
+        self,
+        nu: np.ndarray,
+        lam_mode: int,
+        rng: np.random.Generator | None = None,
+    ) -> DecisionRule:
+        """Return the decision rule for state distribution ``nu`` and
+        arrival mode ``lam_mode``."""
+
+    @property
+    def name(self) -> str:
+        """Short identifier used in experiment tables."""
+        return type(self).__name__
+
+    def is_stationary(self) -> bool:
+        """True if the emitted rule ignores ``(ν, λ)`` (open-loop rule)."""
+        return False

@@ -1,0 +1,139 @@
+"""Learned neural MFC policy (the paper's "MF" policy).
+
+Wraps the trained Gaussian policy network: given the (empirical or
+limiting) queue-state distribution and the arrival mode, the network's
+*mean* action (evaluation is deterministic, matching RLlib's
+``explore=False``) is mapped through the manual normalization of
+:meth:`repro.meanfield.decision_rule.DecisionRule.from_raw` into the
+epoch's decision rule. The same object drives the MFC MDP and the finite
+``N, M`` system (Figure 2 / Algorithm 1).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.meanfield.decision_rule import DecisionRule
+from repro.policies.base import UpperLevelPolicy
+from repro.rl.nn import GaussianPolicyNetwork
+from repro.utils.serialization import load_npz_checkpoint, save_npz_checkpoint
+
+__all__ = ["NeuralPolicy"]
+
+
+class NeuralPolicy(UpperLevelPolicy):
+    """Upper-level policy backed by a trained Gaussian network.
+
+    Parameters
+    ----------
+    network:
+        Trained :class:`repro.rl.nn.GaussianPolicyNetwork` whose input is
+        ``[ν, one_hot(λ mode)]`` and whose output parameterizes the raw
+        decision-rule table.
+    num_states, d, num_modes:
+        Rule/observation geometry; must match the network dimensions.
+    deterministic:
+        Use the Gaussian mean (default) or sample the raw action.
+    """
+
+    def __init__(
+        self,
+        network: GaussianPolicyNetwork,
+        num_states: int,
+        d: int,
+        num_modes: int = 2,
+        deterministic: bool = True,
+        label: str = "MF",
+    ) -> None:
+        expected_obs = num_states + num_modes
+        expected_act = num_states**d * d
+        if network.obs_dim != expected_obs:
+            raise ValueError(
+                f"network obs_dim {network.obs_dim} != S + modes = {expected_obs}"
+            )
+        if network.action_dim != expected_act:
+            raise ValueError(
+                f"network action_dim {network.action_dim} != S^d*d = {expected_act}"
+            )
+        self.network = network
+        self.num_states = num_states
+        self.d = d
+        self.num_modes = num_modes
+        self.deterministic = deterministic
+        self._label = label
+
+    @property
+    def name(self) -> str:
+        return self._label
+
+    def observation(self, nu: np.ndarray, lam_mode: int) -> np.ndarray:
+        nu = np.asarray(nu, dtype=np.float64)
+        if nu.shape != (self.num_states,):
+            raise ValueError(f"nu must have shape ({self.num_states},)")
+        if not 0 <= lam_mode < self.num_modes:
+            raise ValueError(f"lam_mode {lam_mode} out of range")
+        one_hot = np.zeros(self.num_modes)
+        one_hot[lam_mode] = 1.0
+        return np.concatenate([nu, one_hot])
+
+    def decision_rule(
+        self,
+        nu: np.ndarray,
+        lam_mode: int,
+        rng: np.random.Generator | None = None,
+    ) -> DecisionRule:
+        obs = self.observation(nu, lam_mode)
+        mu, log_std, _ = self.network.forward(obs[None, :])
+        if self.deterministic or rng is None:
+            raw = mu[0]
+        else:
+            raw = mu[0] + np.exp(log_std[0]) * rng.standard_normal(mu.shape[1])
+        return DecisionRule.from_raw(raw, self.num_states, self.d)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path, extra_meta: dict | None = None) -> Path:
+        arrays = {f"policy/{k}": v for k, v in self.network.state_dict().items()}
+        meta = {
+            "num_states": self.num_states,
+            "d": self.d,
+            "num_modes": self.num_modes,
+            "hidden_sizes": list(self.network.trunk.hidden_sizes),
+            "label": self._label,
+        }
+        if extra_meta:
+            meta.update(extra_meta)
+        return save_npz_checkpoint(path, arrays, meta)
+
+    @classmethod
+    def load(cls, path: str | Path, deterministic: bool = True) -> "NeuralPolicy":
+        arrays, meta = load_npz_checkpoint(path)
+        required = {"num_states", "d", "num_modes", "hidden_sizes"}
+        missing = required - set(meta)
+        if missing:
+            raise ValueError(f"checkpoint missing metadata: {sorted(missing)}")
+        num_states = int(meta["num_states"])
+        d = int(meta["d"])
+        num_modes = int(meta["num_modes"])
+        network = GaussianPolicyNetwork(
+            obs_dim=num_states + num_modes,
+            action_dim=num_states**d * d,
+            hidden_sizes=tuple(int(h) for h in meta["hidden_sizes"]),
+        )
+        state = {
+            k[len("policy/") :]: v
+            for k, v in arrays.items()
+            if k.startswith("policy/")
+        }
+        network.load_state_dict(state)
+        return cls(
+            network,
+            num_states=num_states,
+            d=d,
+            num_modes=num_modes,
+            deterministic=deterministic,
+            label=str(meta.get("label", "MF")),
+        )

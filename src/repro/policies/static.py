@@ -1,0 +1,98 @@
+"""Static baseline policies: JSQ(d), RND, threshold, constant rules.
+
+These are the comparison policies of the paper's Section 4:
+
+* :class:`JoinShortestQueuePolicy` — power-of-d JSQ: every agent routes
+  to the shortest of its ``d`` sampled queues (MF-JSQ rule, Eq. 34).
+  Optimal as ``Δt → 0`` but suffers from herd behaviour under delay.
+* :class:`RandomPolicy` — uniform routing among the sampled queues
+  (MF-RND rule, Eq. 35); optimal as ``Δt → ∞``.
+* :class:`ThresholdPolicy` — a simple hand-crafted interpolation between
+  the two (ablation material).
+* :class:`ConstantRulePolicy` — wraps an arbitrary fixed rule, e.g. one
+  found by the CEM optimizer.
+
+All are stationary: the emitted rule does not depend on ``(ν, λ)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.meanfield.decision_rule import DecisionRule
+from repro.policies.base import UpperLevelPolicy
+
+__all__ = [
+    "ConstantRulePolicy",
+    "JoinShortestQueuePolicy",
+    "RandomPolicy",
+    "ThresholdPolicy",
+]
+
+
+class ConstantRulePolicy(UpperLevelPolicy):
+    """Emit the same decision rule at every epoch."""
+
+    def __init__(self, rule: DecisionRule, name: str | None = None) -> None:
+        self._rule = rule
+        self._name = name or "ConstantRule"
+
+    @property
+    def rule(self) -> DecisionRule:
+        return self._rule
+
+    def decision_rule(
+        self,
+        nu: np.ndarray,
+        lam_mode: int,
+        rng: np.random.Generator | None = None,
+    ) -> DecisionRule:
+        return self._rule
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def is_stationary(self) -> bool:
+        return True
+
+
+class JoinShortestQueuePolicy(ConstantRulePolicy):
+    """JSQ(d): route to the shortest sampled queue (ties split uniformly)."""
+
+    def __init__(self, num_states: int, d: int) -> None:
+        super().__init__(
+            DecisionRule.join_shortest(num_states, d), name=f"JSQ({d})"
+        )
+        self.num_states = num_states
+        self.d = d
+
+
+class RandomPolicy(ConstantRulePolicy):
+    """RND: route uniformly among the ``d`` sampled queues."""
+
+    def __init__(self, num_states: int, d: int) -> None:
+        super().__init__(DecisionRule.uniform(num_states, d), name="RND")
+        self.num_states = num_states
+        self.d = d
+
+
+class ThresholdPolicy(ConstantRulePolicy):
+    """JSQ below a fill threshold, uniform above it.
+
+    ``threshold = num_states`` recovers JSQ(d); ``threshold = 0``
+    recovers RND.
+    """
+
+    def __init__(self, num_states: int, d: int, threshold: int) -> None:
+        if not 0 <= threshold <= num_states:
+            raise ValueError(
+                f"threshold must lie in [0, {num_states}], got {threshold}"
+            )
+        super().__init__(
+            DecisionRule.threshold(num_states, d, threshold),
+            name=f"THR({threshold})",
+        )
+        self.num_states = num_states
+        self.d = d
+        self.threshold = threshold

@@ -1,0 +1,27 @@
+"""Finite-system substrate: arrivals, queues, clients, environments.
+
+Implements the ``N``-client ``M``-queue system of Section 2 and the
+evaluation procedure of Algorithm 1, plus an event-driven job-level
+simulator used to cross-validate the frozen-rate epoch model and a
+heterogeneous-server extension.
+"""
+
+from repro.queueing.arrivals import MarkovModulatedRate
+from repro.queueing.queue_ctmc import simulate_queues_epoch
+from repro.queueing.clients import (
+    expected_choice_counts,
+    sample_client_choices,
+)
+from repro.queueing.env import FiniteSystemEnv, InfiniteClientEnv, run_episode
+from repro.queueing.events import simulate_epoch_event_driven
+
+__all__ = [
+    "MarkovModulatedRate",
+    "simulate_queues_epoch",
+    "sample_client_choices",
+    "expected_choice_counts",
+    "FiniteSystemEnv",
+    "InfiniteClientEnv",
+    "run_episode",
+    "simulate_epoch_event_driven",
+]

@@ -1,0 +1,177 @@
+"""Markov-modulated arrival intensity (paper Eq. 1 and Eq. 32-33).
+
+The per-queue arrival intensity ``λ_t`` follows an exogenous
+discrete-time Markov chain over a finite set of levels (the paper uses
+two: high 0.9 and low 0.6 with switching probabilities 0.2 and 0.5),
+modelling e.g. diurnal load variation. The chain is shared by the
+mean-field MDP and the finite system; the *system-wide* job arrival rate
+is ``M · λ_t``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.meanfield.analytic import mmpp_stationary_distribution
+from repro.utils.rng import as_generator
+
+__all__ = ["MarkovModulatedRate", "ScriptedRate"]
+
+
+class MarkovModulatedRate:
+    """Finite-level modulating chain for the arrival intensity.
+
+    Parameters
+    ----------
+    levels:
+        Arrival-intensity value of each mode, length ``K``.
+    transition_matrix:
+        Row-stochastic ``K x K`` matrix ``P_λ``; ``P[i, j]`` is the
+        probability of switching from mode ``i`` to mode ``j`` at the
+        next decision epoch.
+    initial_distribution:
+        Distribution of the initial mode; defaults to uniform, matching
+        the paper's ``λ_0 ~ Unif({λ_h, λ_l})``.
+    """
+
+    def __init__(
+        self,
+        levels,
+        transition_matrix,
+        initial_distribution=None,
+    ) -> None:
+        self.levels = np.asarray(levels, dtype=np.float64)
+        if self.levels.ndim != 1 or self.levels.size < 1:
+            raise ValueError("levels must be a non-empty 1-D array")
+        if np.any(self.levels <= 0):
+            raise ValueError("arrival levels must be positive")
+        self.transition_matrix = np.asarray(transition_matrix, dtype=np.float64)
+        k = self.levels.size
+        if self.transition_matrix.shape != (k, k):
+            raise ValueError(
+                f"transition matrix must be ({k}, {k}), "
+                f"got {self.transition_matrix.shape}"
+            )
+        if np.any(self.transition_matrix < 0) or not np.allclose(
+            self.transition_matrix.sum(axis=1), 1.0
+        ):
+            raise ValueError("transition matrix rows must be distributions")
+        if initial_distribution is None:
+            initial_distribution = np.full(k, 1.0 / k)
+        self.initial_distribution = np.asarray(initial_distribution, dtype=np.float64)
+        if self.initial_distribution.shape != (k,):
+            raise ValueError("initial distribution has wrong shape")
+        if np.any(self.initial_distribution < 0) or not np.isclose(
+            self.initial_distribution.sum(), 1.0
+        ):
+            raise ValueError("initial distribution must be a distribution")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_config(cls, config: SystemConfig) -> "MarkovModulatedRate":
+        """Two-level chain of Eq. (32)-(33): levels ``(λ_h, λ_l)``.
+
+        Mode 0 is *high*, mode 1 is *low*; ``P(h→l) = p_high_to_low`` and
+        ``P(l→h) = p_low_to_high``.
+        """
+        p_hl = config.p_high_to_low
+        p_lh = config.p_low_to_high
+        return cls(
+            levels=[config.arrival_rate_high, config.arrival_rate_low],
+            transition_matrix=[[1.0 - p_hl, p_hl], [p_lh, 1.0 - p_lh]],
+        )
+
+    @classmethod
+    def constant(cls, level: float) -> "MarkovModulatedRate":
+        """Degenerate single-mode chain (useful for analytic checks)."""
+        return cls(levels=[level], transition_matrix=[[1.0]])
+
+    # ------------------------------------------------------------------
+    @property
+    def num_modes(self) -> int:
+        return int(self.levels.size)
+
+    def rate(self, mode: int) -> float:
+        return float(self.levels[mode])
+
+    def sample_initial_mode(self, rng=None) -> int:
+        rng = as_generator(rng)
+        return int(rng.choice(self.num_modes, p=self.initial_distribution))
+
+    def step_mode(self, mode: int, rng=None) -> int:
+        if not 0 <= mode < self.num_modes:
+            raise ValueError(f"mode {mode} out of range [0, {self.num_modes})")
+        rng = as_generator(rng)
+        return int(rng.choice(self.num_modes, p=self.transition_matrix[mode]))
+
+    def stationary_distribution(self) -> np.ndarray:
+        return mmpp_stationary_distribution(self.transition_matrix)
+
+    def stationary_mean_rate(self) -> float:
+        return float(self.stationary_distribution() @ self.levels)
+
+    def max_rate(self) -> float:
+        return float(self.levels.max())
+
+    def simulate_modes(self, num_steps: int, rng=None) -> np.ndarray:
+        """Sample a mode trajectory of length ``num_steps`` (incl. t=0)."""
+        rng = as_generator(rng)
+        modes = np.empty(num_steps, dtype=np.intp)
+        if num_steps == 0:
+            return modes
+        modes[0] = self.sample_initial_mode(rng)
+        for t in range(1, num_steps):
+            modes[t] = self.step_mode(int(modes[t - 1]), rng)
+        return modes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MarkovModulatedRate(levels={self.levels.tolist()}, "
+            f"modes={self.num_modes})"
+        )
+
+
+class ScriptedRate(MarkovModulatedRate):
+    """Arrival process that replays a fixed mode sequence.
+
+    Theorem 1 conditions on the arrival-rate sequence ("non-random
+    ``λ^{N,M}_t = λ^M_t = λ_t``"); the convergence analysis therefore
+    needs the mean-field and finite systems to see *identical* mode
+    trajectories. This subclass replays a given sequence (repeating the
+    final mode beyond its end) while keeping the full
+    :class:`MarkovModulatedRate` interface.
+    """
+
+    def __init__(self, levels, mode_sequence) -> None:
+        levels = np.asarray(levels, dtype=np.float64)
+        k = levels.size
+        # The transition matrix is irrelevant for a scripted chain, but the
+        # base class requires a valid one.
+        super().__init__(levels, np.eye(k))
+        self._sequence = np.asarray(mode_sequence, dtype=np.intp)
+        if self._sequence.ndim != 1 or self._sequence.size < 1:
+            raise ValueError("mode_sequence must be a non-empty 1-D array")
+        if self._sequence.min() < 0 or self._sequence.max() >= k:
+            raise ValueError("mode_sequence entries out of range")
+        self._cursor = 0
+
+    @classmethod
+    def from_process(
+        cls, process: MarkovModulatedRate, num_steps: int, rng=None
+    ) -> "ScriptedRate":
+        """Freeze one random trajectory of ``process``."""
+        modes = process.simulate_modes(num_steps, rng)
+        return cls(process.levels, modes)
+
+    def sample_initial_mode(self, rng=None) -> int:
+        self._cursor = 0
+        return int(self._sequence[0])
+
+    def step_mode(self, mode: int, rng=None) -> int:
+        self._cursor = min(self._cursor + 1, self._sequence.size - 1)
+        return int(self._sequence[self._cursor])
+
+    @property
+    def mode_sequence(self) -> np.ndarray:
+        return self._sequence.copy()

@@ -1,0 +1,145 @@
+"""Client/dispatcher layer: power-of-d sampling and rule application.
+
+At each decision epoch every client ``i`` samples ``d`` queue indices
+``x_i ~ Unif({1..M})^d`` (Eq. 3), observes the epoch-start states of its
+sampled queues (the *anonymous state* ``z̄_i``), draws a slot
+``u_i ~ h(·|z̄_i)`` (Eq. 4) and commits its jobs to queue ``x_i[u_i]``
+for the epoch. The per-queue frozen arrival rates then follow Eq. (5):
+``λ_j = M λ_t · count_j / N``.
+
+Everything is vectorized over clients; for the paper's largest setting
+(``N = 10^6``, ``d = 2``) a full epoch of client decisions is three
+array operations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.meanfield.decision_rule import DecisionRule
+from repro.meanfield.discretization import per_state_arrival_rates
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "sample_client_choices",
+    "client_choice_counts",
+    "per_packet_rate_fractions",
+    "expected_choice_counts",
+    "infinite_client_rates",
+]
+
+
+def sample_client_choices(
+    queue_states: np.ndarray,
+    num_clients: int,
+    rule: DecisionRule,
+    rng=None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sample every client's queue selection and committed choice.
+
+    Returns
+    -------
+    sampled:
+        ``(N, d)`` array of sampled queue indices (``x`` in the paper;
+        sampling is with replacement, as in Eq. 3 — for ``d ≪ M`` the
+        collision probability is negligible and the paper argues it
+        "makes no difference in sufficiently large systems").
+    slots:
+        ``(N,)`` chosen slot per client (``u``).
+    committed:
+        ``(N,)`` committed queue index per client (``x[u]``).
+    """
+    rng = as_generator(rng)
+    queue_states = np.asarray(queue_states)
+    m = queue_states.size
+    if num_clients < 1:
+        raise ValueError("num_clients must be >= 1")
+    sampled = rng.integers(0, m, size=(num_clients, rule.d))
+    zbar = queue_states[sampled]
+    slots = rule.sample_actions(zbar, rng)
+    committed = sampled[np.arange(num_clients), slots]
+    return sampled, slots, committed
+
+
+def client_choice_counts(
+    queue_states: np.ndarray,
+    num_clients: int,
+    rule: DecisionRule,
+    rng=None,
+) -> np.ndarray:
+    """Number of clients committed to each queue this epoch (``(M,)``)."""
+    queue_states = np.asarray(queue_states)
+    _, _, committed = sample_client_choices(queue_states, num_clients, rule, rng)
+    return np.bincount(committed, minlength=queue_states.size)
+
+
+def per_packet_rate_fractions(
+    queue_states: np.ndarray,
+    num_clients: int,
+    rule: DecisionRule,
+    rng=None,
+) -> np.ndarray:
+    """Per-queue arrival-rate fractions under per-packet randomization.
+
+    The paper's experiments "allow randomization for each packet"
+    (remark below Eq. 4): every packet that reaches client ``i``
+    re-samples its slot ``u ~ h(·|z̄_i)`` instead of using one committed
+    choice for the whole epoch. By Poisson thinning, queue ``j`` then
+    receives rate ``(M λ_t / N) Σ_i Σ_k 1{x_{i,k}=j} h(k|z̄_i)`` — this
+    function returns the fractions ``(1/N) Σ_i Σ_k 1{x_{i,k}=j} h(k|z̄_i)``
+    (which sum to 1 over queues). Compared to the committed-choice
+    counts this removes the per-client multinomial noise, which matters
+    when ``N`` is *not* much larger than ``M`` (paper Figure 6).
+    """
+    rng = as_generator(rng)
+    queue_states = np.asarray(queue_states)
+    m = queue_states.size
+    if num_clients < 1:
+        raise ValueError("num_clients must be >= 1")
+    sampled = rng.integers(0, m, size=(num_clients, rule.d))
+    zbar = queue_states[sampled]
+    probs = rule.action_probs(zbar)
+    fractions = np.zeros(m)
+    for k in range(rule.d):
+        np.add.at(fractions, sampled[:, k], probs[:, k])
+    return fractions / num_clients
+
+
+def expected_choice_counts(
+    queue_states: np.ndarray,
+    num_clients: int,
+    rule: DecisionRule,
+) -> np.ndarray:
+    """Expected per-queue client counts ``N · P(client commits to j)``.
+
+    By the computation in the proof of Theorem 1,
+    ``P(client -> j) = λ_t(H, z_j) / (M λ_t)`` where ``H`` is the
+    empirical state distribution — so the expected counts are independent
+    of the arrival intensity. Used for variance-reduction checks and the
+    infinite-client system.
+    """
+    queue_states = np.asarray(queue_states)
+    m = queue_states.size
+    hist = np.bincount(queue_states, minlength=rule.num_states).astype(float) / m
+    per_state = per_state_arrival_rates(hist, rule, lam=1.0)
+    probs = per_state[queue_states] / m
+    return num_clients * probs
+
+
+def infinite_client_rates(
+    queue_states: np.ndarray,
+    rule: DecisionRule,
+    lam: float,
+) -> np.ndarray:
+    """Frozen arrival rates in the ``N → ∞`` (infinite-client) system.
+
+    Eq. (14)-(15): conditional on the queue states, the empirical
+    agent state-action distribution concentrates and queue ``j`` receives
+    ``λ_j = λ_t(H^M_t, z_j)`` — the mean-field rate function evaluated at
+    the *empirical* distribution.
+    """
+    queue_states = np.asarray(queue_states)
+    m = queue_states.size
+    hist = np.bincount(queue_states, minlength=rule.num_states).astype(float) / m
+    per_state = per_state_arrival_rates(hist, rule, lam)
+    return per_state[queue_states]

@@ -1,0 +1,251 @@
+"""Finite-system environments and the Algorithm 1 evaluation loop.
+
+:class:`FiniteSystemEnv` is the ``N``-client ``M``-queue system of
+Section 2.1; :class:`InfiniteClientEnv` is the intermediate
+``N → ∞`` system of Section 2.2 (queues still finite, client choices
+replaced by their conditional expectation). Both are driven by any
+:class:`repro.policies.base.UpperLevelPolicy`, exactly as Figure 2
+prescribes: the policy sees the *empirical* queue-state distribution
+``H_t`` and the arrival mode, emits a decision rule, and the rule is
+applied per client.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.meanfield.decision_rule import DecisionRule
+from repro.queueing.arrivals import MarkovModulatedRate
+
+if TYPE_CHECKING:  # import cycle: policies build on top of the queue substrate
+    from repro.policies.base import UpperLevelPolicy
+from repro.queueing.clients import (
+    client_choice_counts,
+    infinite_client_rates,
+    per_packet_rate_fractions,
+)
+from repro.queueing.queue_ctmc import simulate_queues_epoch
+from repro.utils.rng import as_generator
+
+__all__ = ["FiniteSystemEnv", "InfiniteClientEnv", "EpisodeResult", "run_episode"]
+
+
+class _QueueSystemBase:
+    """State/bookkeeping shared by the finite- and infinite-client systems."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        arrival_process: MarkovModulatedRate | None = None,
+        service_rates: np.ndarray | None = None,
+        per_packet_randomization: bool = False,
+        seed=None,
+    ) -> None:
+        self.config = config
+        self.per_packet_randomization = per_packet_randomization
+        self.arrivals = (
+            arrival_process
+            if arrival_process is not None
+            else MarkovModulatedRate.from_config(config)
+        )
+        if service_rates is None:
+            self.service_rates = np.full(config.num_queues, config.service_rate)
+        else:
+            self.service_rates = np.asarray(service_rates, dtype=np.float64)
+            if self.service_rates.shape != (config.num_queues,):
+                raise ValueError(
+                    f"service_rates must have shape ({config.num_queues},)"
+                )
+            if self.service_rates.min() <= 0:
+                raise ValueError("service rates must be > 0")
+        self._rng = as_generator(seed)
+        self._states: np.ndarray | None = None
+        self._lam_mode = 0
+        self._t = 0
+
+    # -- state access ---------------------------------------------------
+    @property
+    def queue_states(self) -> np.ndarray:
+        if self._states is None:
+            raise RuntimeError("environment must be reset before use")
+        return self._states.copy()
+
+    @property
+    def lam_mode(self) -> int:
+        return self._lam_mode
+
+    @property
+    def current_rate(self) -> float:
+        return self.arrivals.rate(self._lam_mode)
+
+    @property
+    def t(self) -> int:
+        return self._t
+
+    def empirical_distribution(self) -> np.ndarray:
+        """``H_t`` — fraction of queues in each state (Eq. 2)."""
+        if self._states is None:
+            raise RuntimeError("environment must be reset before use")
+        counts = np.bincount(self._states, minlength=self.config.num_queue_states)
+        return counts.astype(np.float64) / self.config.num_queues
+
+    def reset(self, seed=None) -> np.ndarray:
+        """Sample fresh queue states and arrival mode; returns ``H_0``."""
+        if seed is not None:
+            self._rng = as_generator(seed)
+        self._states = np.full(
+            self.config.num_queues, self.config.initial_state, dtype=np.int64
+        )
+        self._lam_mode = self.arrivals.sample_initial_mode(self._rng)
+        self._t = 0
+        return self.empirical_distribution()
+
+    # -- template step ----------------------------------------------------
+    def _frozen_rates(self, rule: DecisionRule) -> np.ndarray:
+        raise NotImplementedError
+
+    def step(self, rule: DecisionRule) -> tuple[np.ndarray, float, dict]:
+        """Apply ``rule`` for one epoch; returns ``(H_next, reward, info)``.
+
+        ``reward = -drop_penalty * D_t`` with ``D_t`` the *per-queue
+        average* number of dropped packets during the epoch (Eq. 6).
+        """
+        if self._states is None:
+            raise RuntimeError("environment must be reset before use")
+        if (
+            rule.num_states != self.config.num_queue_states
+            or rule.d != self.config.d
+        ):
+            raise ValueError(
+                f"rule geometry (S={rule.num_states}, d={rule.d}) does not "
+                f"match config (S={self.config.num_queue_states}, "
+                f"d={self.config.d})"
+            )
+        rates = self._frozen_rates(rule)
+        new_states, drops = simulate_queues_epoch(
+            self._states,
+            rates,
+            self.service_rates,
+            self.config.delta_t,
+            self.config.buffer_size,
+            self._rng,
+        )
+        total_drops = int(drops.sum())
+        per_queue_drops = total_drops / self.config.num_queues
+        self._states = new_states
+        self._lam_mode = self.arrivals.step_mode(self._lam_mode, self._rng)
+        self._t += 1
+        info = {
+            "drops_total": total_drops,
+            "drops_per_queue": per_queue_drops,
+            "arrival_rates": rates,
+            "t": self._t,
+        }
+        reward = -self.config.drop_penalty * per_queue_drops
+        return self.empirical_distribution(), reward, info
+
+    def step_with_policy(
+        self, policy: "UpperLevelPolicy"
+    ) -> tuple[np.ndarray, float, dict]:
+        """Algorithm 1 lines 8-19: compute ``H_t``, query the policy,
+        apply the resulting rule."""
+        hist = self.empirical_distribution()
+        rule = policy.decision_rule(hist, self._lam_mode, self._rng)
+        return self.step(rule)
+
+
+class FiniteSystemEnv(_QueueSystemBase):
+    """The ``N``-client, ``M``-queue system (superscript ``N, M``).
+
+    Every epoch, all ``N`` clients sample ``d`` queues, commit a choice
+    via the decision rule, and queue ``j`` receives Poisson arrivals at
+    the frozen rate ``λ_j = M λ_t · count_j / N`` (Eq. 5) for ``Δt``
+    time units.
+    """
+
+    def _frozen_rates(self, rule: DecisionRule) -> np.ndarray:
+        if self.per_packet_randomization:
+            # Paper remark below Eq. (4): in the experiments every packet
+            # re-samples its slot, so the frozen rate thins over the
+            # clients' full routing distributions instead of commitments.
+            fractions = per_packet_rate_fractions(
+                self._states, self.config.num_clients, rule, self._rng
+            )
+            return self.config.num_queues * self.current_rate * fractions
+        counts = client_choice_counts(
+            self._states, self.config.num_clients, rule, self._rng
+        )
+        return (
+            self.config.num_queues
+            * self.current_rate
+            * counts.astype(np.float64)
+            / self.config.num_clients
+        )
+
+
+class InfiniteClientEnv(_QueueSystemBase):
+    """The ``N → ∞`` system of Section 2.2 (superscript ``M``).
+
+    Client randomness averages out (conditional LLN): queue ``j``
+    receives the deterministic frozen rate ``λ_j = λ_t(H_t, z_j)``
+    (Eq. 14-15). Queue-side randomness remains.
+    """
+
+    def _frozen_rates(self, rule: DecisionRule) -> np.ndarray:
+        return infinite_client_rates(self._states, rule, self.current_rate)
+
+
+@dataclass
+class EpisodeResult:
+    """Summary of one finite-system evaluation episode."""
+
+    total_drops_per_queue: float
+    per_epoch_drops: np.ndarray
+    num_epochs: int
+    empirical_distributions: np.ndarray | None = None
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def mean_epoch_drops(self) -> float:
+        return float(self.per_epoch_drops.mean())
+
+
+def run_episode(
+    env: _QueueSystemBase,
+    policy: "UpperLevelPolicy",
+    num_epochs: int | None = None,
+    seed=None,
+    record_distributions: bool = False,
+) -> EpisodeResult:
+    """Run Algorithm 1 for ``num_epochs`` decision epochs.
+
+    Returns the cumulative per-queue packet drops (the quantity on the
+    y-axes of Figures 4-6) and the per-epoch series.
+    """
+    steps = (
+        int(num_epochs)
+        if num_epochs is not None
+        else env.config.resolved_eval_length()
+    )
+    if steps < 1:
+        raise ValueError("num_epochs must be >= 1")
+    env.reset(seed)
+    drops = np.empty(steps)
+    dists = np.empty((steps + 1, env.config.num_queue_states)) if record_distributions else None
+    if dists is not None:
+        dists[0] = env.empirical_distribution()
+    for t in range(steps):
+        _, _, info = env.step_with_policy(policy)
+        drops[t] = info["drops_per_queue"]
+        if dists is not None:
+            dists[t + 1] = env.empirical_distribution()
+    return EpisodeResult(
+        total_drops_per_queue=float(drops.sum()),
+        per_epoch_drops=drops,
+        num_epochs=steps,
+        empirical_distributions=dists,
+    )

@@ -1,0 +1,256 @@
+"""Heterogeneous-server extension (paper §5: future-work item).
+
+Servers come in ``C`` classes with per-class service rates; clients
+observe, for each sampled queue, the pair ``(z, c)`` of queue filling
+and server class. We encode the pair as a single *observed state*
+``o = z · C + c`` so the entire homogeneous machinery — decision rules,
+per-state arrival rates, client sampling, the lock-step CTMC simulator —
+is reused unchanged with ``S·C`` observed states. Only the service rate
+consumed by the queue CTMC depends on the class.
+
+The natural baseline in this setting is SED(d)
+(Shortest-Expected-Delay): route to the sampled queue minimizing
+``(z + 1) / α_c``, which reduces to JSQ(d) for homogeneous rates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.meanfield.decision_rule import DecisionRule
+from repro.queueing.arrivals import MarkovModulatedRate
+from repro.queueing.clients import client_choice_counts, infinite_client_rates
+from repro.queueing.queue_ctmc import simulate_queues_epoch
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "ServerClassSpec",
+    "sed_rule",
+    "jsq_rule_heterogeneous",
+    "rnd_rule_heterogeneous",
+    "HeterogeneousFiniteEnv",
+]
+
+
+@dataclass(frozen=True)
+class ServerClassSpec:
+    """Server classes: rates and population fractions.
+
+    ``service_rates[c]`` is class ``c``'s rate; ``fractions[c]`` the
+    fraction of the ``M`` queues in that class (must sum to 1).
+    """
+
+    service_rates: tuple[float, ...]
+    fractions: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.service_rates) != len(self.fractions):
+            raise ValueError("need one fraction per service rate")
+        if len(self.service_rates) < 1:
+            raise ValueError("need at least one server class")
+        if any(r <= 0 for r in self.service_rates):
+            raise ValueError("service rates must be > 0")
+        if any(f < 0 for f in self.fractions) or not np.isclose(
+            sum(self.fractions), 1.0
+        ):
+            raise ValueError("fractions must form a probability vector")
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.service_rates)
+
+    # -- observed-state encoding -----------------------------------------
+    def num_observed_states(self, buffer_size: int) -> int:
+        return (buffer_size + 1) * self.num_classes
+
+    def encode(self, z: np.ndarray, c: np.ndarray) -> np.ndarray:
+        """Pack ``(filling, class)`` into the flat observed state."""
+        return np.asarray(z) * self.num_classes + np.asarray(c)
+
+    def decode(self, observed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        observed = np.asarray(observed)
+        return observed // self.num_classes, observed % self.num_classes
+
+    def assign_classes(self, num_queues: int) -> np.ndarray:
+        """Deterministic class assignment matching the fractions as
+        closely as integer counts allow (largest-remainder rounding)."""
+        raw = np.asarray(self.fractions) * num_queues
+        counts = np.floor(raw).astype(int)
+        remainder = num_queues - counts.sum()
+        if remainder > 0:
+            order = np.argsort(-(raw - counts))
+            counts[order[:remainder]] += 1
+        classes = np.repeat(np.arange(self.num_classes), counts)
+        return classes
+
+    def mean_service_rate(self) -> float:
+        return float(
+            np.asarray(self.fractions) @ np.asarray(self.service_rates)
+        )
+
+
+def _rule_from_scorer(
+    spec: ServerClassSpec, buffer_size: int, d: int, scorer
+) -> DecisionRule:
+    """Build a deterministic rule minimizing ``scorer(z, c)`` per slot."""
+    s_obs = spec.num_observed_states(buffer_size)
+    shape = (s_obs,) * d + (d,)
+    probs = np.zeros(shape)
+    for obar in itertools.product(range(s_obs), repeat=d):
+        z, c = spec.decode(np.asarray(obar))
+        scores = np.asarray([scorer(int(zi), int(ci)) for zi, ci in zip(z, c)])
+        minimal = scores == scores.min()
+        probs[obar] = minimal / minimal.sum()
+    return DecisionRule(probs)
+
+
+def sed_rule(spec: ServerClassSpec, buffer_size: int, d: int) -> DecisionRule:
+    """SED(d): minimize expected delay ``(z + 1) / α_c`` over the samples."""
+    return _rule_from_scorer(
+        spec, buffer_size, d, lambda z, c: (z + 1) / spec.service_rates[c]
+    )
+
+
+def jsq_rule_heterogeneous(
+    spec: ServerClassSpec, buffer_size: int, d: int
+) -> DecisionRule:
+    """JSQ(d) on the observed states (class-blind: minimizes ``z``)."""
+    return _rule_from_scorer(spec, buffer_size, d, lambda z, c: float(z))
+
+
+def rnd_rule_heterogeneous(
+    spec: ServerClassSpec, buffer_size: int, d: int
+) -> DecisionRule:
+    """Uniform routing on the observed states."""
+    return DecisionRule.uniform(spec.num_observed_states(buffer_size), d)
+
+
+class HeterogeneousFiniteEnv:
+    """Finite ``N, M`` system with ``C`` server classes.
+
+    The API mirrors :class:`repro.queueing.env.FiniteSystemEnv`, but the
+    decision rule operates on observed states ``o = z·C + c`` and the
+    empirical distribution lives on ``Z × C``.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        spec: ServerClassSpec,
+        arrival_process: MarkovModulatedRate | None = None,
+        infinite_clients: bool = False,
+        seed=None,
+    ) -> None:
+        self.config = config
+        self.spec = spec
+        self.arrivals = (
+            arrival_process
+            if arrival_process is not None
+            else MarkovModulatedRate.from_config(config)
+        )
+        self.infinite_clients = infinite_clients
+        self.classes = spec.assign_classes(config.num_queues)
+        self.service_rates = np.asarray(spec.service_rates)[self.classes]
+        self._rng = as_generator(seed)
+        self._fillings: np.ndarray | None = None
+        self._lam_mode = 0
+        self._t = 0
+
+    @property
+    def num_observed_states(self) -> int:
+        return self.spec.num_observed_states(self.config.buffer_size)
+
+    @property
+    def queue_fillings(self) -> np.ndarray:
+        if self._fillings is None:
+            raise RuntimeError("environment must be reset before use")
+        return self._fillings.copy()
+
+    @property
+    def lam_mode(self) -> int:
+        return self._lam_mode
+
+    @property
+    def current_rate(self) -> float:
+        return self.arrivals.rate(self._lam_mode)
+
+    def observed_states(self) -> np.ndarray:
+        if self._fillings is None:
+            raise RuntimeError("environment must be reset before use")
+        return self.spec.encode(self._fillings, self.classes)
+
+    def empirical_distribution(self) -> np.ndarray:
+        """Distribution over the flat ``Z × C`` observed states."""
+        counts = np.bincount(
+            self.observed_states(), minlength=self.num_observed_states
+        )
+        return counts.astype(np.float64) / self.config.num_queues
+
+    def reset(self, seed=None) -> np.ndarray:
+        if seed is not None:
+            self._rng = as_generator(seed)
+        self._fillings = np.full(
+            self.config.num_queues, self.config.initial_state, dtype=np.int64
+        )
+        self._lam_mode = self.arrivals.sample_initial_mode(self._rng)
+        self._t = 0
+        return self.empirical_distribution()
+
+    def step(self, rule: DecisionRule) -> tuple[np.ndarray, float, dict]:
+        if self._fillings is None:
+            raise RuntimeError("environment must be reset before use")
+        if rule.num_states != self.num_observed_states or rule.d != self.config.d:
+            raise ValueError(
+                "rule geometry does not match the heterogeneous system "
+                f"(expected S={self.num_observed_states}, d={self.config.d})"
+            )
+        observed = self.observed_states()
+        if self.infinite_clients:
+            rates = infinite_client_rates(observed, rule, self.current_rate)
+        else:
+            counts = client_choice_counts(
+                observed, self.config.num_clients, rule, self._rng
+            )
+            rates = (
+                self.config.num_queues
+                * self.current_rate
+                * counts.astype(np.float64)
+                / self.config.num_clients
+            )
+        new_fillings, drops = simulate_queues_epoch(
+            self._fillings,
+            rates,
+            self.service_rates,
+            self.config.delta_t,
+            self.config.buffer_size,
+            self._rng,
+        )
+        total = int(drops.sum())
+        per_queue = total / self.config.num_queues
+        self._fillings = new_fillings
+        self._lam_mode = self.arrivals.step_mode(self._lam_mode, self._rng)
+        self._t += 1
+        info = {
+            "drops_total": total,
+            "drops_per_queue": per_queue,
+            "arrival_rates": rates,
+            "t": self._t,
+        }
+        return (
+            self.empirical_distribution(),
+            -self.config.drop_penalty * per_queue,
+            info,
+        )
+
+    def run_episode(self, rule: DecisionRule, num_epochs: int, seed=None) -> float:
+        """Cumulative per-queue drops under a constant rule."""
+        self.reset(seed)
+        total = 0.0
+        for _ in range(num_epochs):
+            _, _, info = self.step(rule)
+            total += info["drops_per_queue"]
+        return total

@@ -1,0 +1,27 @@
+"""Shared utilities: seeding, statistics, tables, serialization, logging."""
+
+from repro.utils.rng import RngFactory, as_generator, spawn_generators
+from repro.utils.stats import (
+    ConfidenceInterval,
+    RunningMeanStd,
+    WelfordAccumulator,
+    mean_confidence_interval,
+)
+from repro.utils.tables import format_table, series_to_csv
+from repro.utils.serialization import load_npz_checkpoint, save_npz_checkpoint
+from repro.utils.logging import ExperimentLogger
+
+__all__ = [
+    "RngFactory",
+    "as_generator",
+    "spawn_generators",
+    "ConfidenceInterval",
+    "RunningMeanStd",
+    "WelfordAccumulator",
+    "mean_confidence_interval",
+    "format_table",
+    "series_to_csv",
+    "load_npz_checkpoint",
+    "save_npz_checkpoint",
+    "ExperimentLogger",
+]

@@ -1,0 +1,59 @@
+"""Minimal structured experiment logger.
+
+Collects scalar time series keyed by name (e.g. PPO iteration returns),
+optionally echoing to stdout; serializes to CSV for the benchmark
+harnesses. Avoids any dependency on the stdlib ``logging`` configuration
+so library users keep full control of their own logging setup.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import TextIO
+
+from repro.utils.tables import series_to_csv
+
+__all__ = ["ExperimentLogger"]
+
+
+class ExperimentLogger:
+    """Append-only scalar series store with optional live echo."""
+
+    def __init__(self, echo: bool = False, stream: TextIO | None = None) -> None:
+        self._series: dict[str, list[tuple[int, float]]] = {}
+        self._echo = echo
+        self._stream = stream if stream is not None else sys.stdout
+        self._t0 = time.perf_counter()
+
+    def log(self, name: str, step: int, value: float) -> None:
+        self._series.setdefault(name, []).append((int(step), float(value)))
+        if self._echo:
+            elapsed = time.perf_counter() - self._t0
+            print(
+                f"[{elapsed:8.1f}s] {name} step={step} value={value:.6g}",
+                file=self._stream,
+            )
+
+    def log_many(self, step: int, values: dict[str, float]) -> None:
+        for name, value in values.items():
+            self.log(name, step, value)
+
+    def series(self, name: str) -> list[tuple[int, float]]:
+        if name not in self._series:
+            raise KeyError(f"no series named {name!r}; have {sorted(self._series)}")
+        return list(self._series[name])
+
+    def names(self) -> list[str]:
+        return sorted(self._series)
+
+    def last(self, name: str) -> float:
+        series = self.series(name)
+        return series[-1][1]
+
+    def to_csv(self, name: str) -> str:
+        rows = self.series(name)
+        return series_to_csv(["step", name], rows)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series

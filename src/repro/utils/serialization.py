@@ -1,0 +1,54 @@
+"""Checkpoint IO: flat dictionaries of arrays + JSON metadata in ``.npz``.
+
+Trained policies are persisted as a single ``.npz`` archive holding the
+network parameter arrays (under namespaced keys such as
+``policy/layer0/W``) plus a ``__meta__`` JSON blob with configuration
+needed to rebuild the object (observation dimension, hidden sizes,
+system parameters the policy was trained for, ...).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+__all__ = ["save_npz_checkpoint", "load_npz_checkpoint"]
+
+_META_KEY = "__meta__"
+
+
+def save_npz_checkpoint(
+    path: str | Path,
+    arrays: Mapping[str, np.ndarray],
+    meta: Mapping[str, Any] | None = None,
+) -> Path:
+    """Save ``arrays`` (+ optional JSON-serializable ``meta``) to ``path``."""
+    path = Path(path)
+    if _META_KEY in arrays:
+        raise ValueError(f"array key {_META_KEY!r} is reserved")
+    payload = {k: np.asarray(v) for k, v in arrays.items()}
+    meta_blob = json.dumps(dict(meta or {}), sort_keys=True)
+    payload[_META_KEY] = np.frombuffer(meta_blob.encode("utf-8"), dtype=np.uint8)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with io.BytesIO() as buf:
+        np.savez(buf, **payload)
+        path.write_bytes(buf.getvalue())
+    return path
+
+
+def load_npz_checkpoint(path: str | Path) -> tuple[dict[str, np.ndarray], dict[str, Any]]:
+    """Load a checkpoint; returns ``(arrays, meta)``."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"checkpoint not found: {path}")
+    with np.load(path, allow_pickle=False) as data:
+        arrays = {k: data[k].copy() for k in data.files if k != _META_KEY}
+        meta: dict[str, Any] = {}
+        if _META_KEY in data.files:
+            blob = bytes(data[_META_KEY].tobytes())
+            meta = json.loads(blob.decode("utf-8")) if blob else {}
+    return arrays, meta

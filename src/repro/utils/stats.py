@@ -1,0 +1,170 @@
+"""Streaming statistics and confidence intervals for Monte-Carlo runs.
+
+The paper reports estimated expected packet drops with 95% confidence
+intervals over ``n`` Monte-Carlo simulations (Figures 4-6). This module
+provides numerically stable accumulators (Welford) plus Student-t based
+interval construction used by every experiment harness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as sp_stats
+
+__all__ = [
+    "WelfordAccumulator",
+    "RunningMeanStd",
+    "ConfidenceInterval",
+    "mean_confidence_interval",
+]
+
+
+class WelfordAccumulator:
+    """Numerically stable streaming mean/variance of scalar samples."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value: float) -> None:
+        if not math.isfinite(value):
+            raise ValueError(f"non-finite sample: {value!r}")
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+
+    def extend(self, values) -> None:
+        for v in np.asarray(values, dtype=float).ravel():
+            self.add(float(v))
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        if self._count == 0:
+            raise ValueError("no samples accumulated")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (requires >= 2 samples)."""
+        if self._count < 2:
+            raise ValueError("variance needs at least two samples")
+        return self._m2 / (self._count - 1)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def standard_error(self) -> float:
+        return self.std / math.sqrt(self._count)
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A symmetric ``level`` confidence interval around ``mean``."""
+
+    mean: float
+    lower: float
+    upper: float
+    level: float
+    n: int
+
+    @property
+    def half_width(self) -> float:
+        return (self.upper - self.lower) / 2.0
+
+    def contains(self, value: float) -> bool:
+        return self.lower <= value <= self.upper
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.4g} ± {self.half_width:.2g} ({self.level:.0%}, n={self.n})"
+
+
+def mean_confidence_interval(samples, level: float = 0.95) -> ConfidenceInterval:
+    """Student-t confidence interval for the mean of ``samples``.
+
+    With a single sample the interval degenerates to a point; with zero
+    samples a ``ValueError`` is raised.
+    """
+    arr = np.asarray(samples, dtype=float).ravel()
+    if arr.size == 0:
+        raise ValueError("cannot build a confidence interval from no samples")
+    if not 0.0 < level < 1.0:
+        raise ValueError(f"level must be in (0,1), got {level}")
+    mean = float(arr.mean())
+    if arr.size == 1:
+        return ConfidenceInterval(mean, mean, mean, level, 1)
+    sem = float(arr.std(ddof=1)) / math.sqrt(arr.size)
+    if sem == 0.0:
+        return ConfidenceInterval(mean, mean, mean, level, int(arr.size))
+    t_crit = float(sp_stats.t.ppf(0.5 + level / 2.0, df=arr.size - 1))
+    half = t_crit * sem
+    return ConfidenceInterval(mean, mean - half, mean + half, level, int(arr.size))
+
+
+class RunningMeanStd:
+    """Vector-valued running mean/std used for observation normalization.
+
+    Matches the classic parallel-update formula (Chan et al.) used by
+    most RL frameworks; updates accept batches of shape ``(n, dim)``.
+    """
+
+    def __init__(self, dim: int, epsilon: float = 1e-8) -> None:
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        self.dim = dim
+        self.epsilon = epsilon
+        self.mean = np.zeros(dim, dtype=np.float64)
+        self.var = np.ones(dim, dtype=np.float64)
+        self.count = epsilon
+
+    def update(self, batch: np.ndarray) -> None:
+        batch = np.asarray(batch, dtype=np.float64)
+        if batch.ndim == 1:
+            batch = batch[None, :]
+        if batch.shape[1] != self.dim:
+            raise ValueError(
+                f"batch has dim {batch.shape[1]}, expected {self.dim}"
+            )
+        batch_mean = batch.mean(axis=0)
+        batch_var = batch.var(axis=0)
+        batch_count = batch.shape[0]
+
+        delta = batch_mean - self.mean
+        total = self.count + batch_count
+        new_mean = self.mean + delta * batch_count / total
+        m_a = self.var * self.count
+        m_b = batch_var * batch_count
+        m2 = m_a + m_b + delta**2 * self.count * batch_count / total
+        self.mean = new_mean
+        self.var = m2 / total
+        self.count = total
+
+    def normalize(self, x: np.ndarray, clip: float = 10.0) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        normed = (x - self.mean) / np.sqrt(self.var + self.epsilon)
+        return np.clip(normed, -clip, clip)
+
+    def state_dict(self) -> dict:
+        return {
+            "mean": self.mean.copy(),
+            "var": self.var.copy(),
+            "count": float(self.count),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        mean = np.asarray(state["mean"], dtype=np.float64)
+        var = np.asarray(state["var"], dtype=np.float64)
+        if mean.shape != (self.dim,) or var.shape != (self.dim,):
+            raise ValueError("state dict shape mismatch")
+        self.mean = mean.copy()
+        self.var = var.copy()
+        self.count = float(state["count"])

@@ -1,0 +1,64 @@
+"""ASCII table / CSV rendering for experiment outputs.
+
+No plotting library is available offline, so every figure of the paper
+is regenerated as (a) a CSV series suitable for external plotting and
+(b) an aligned ASCII table printed by the benchmark harnesses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "series_to_csv"]
+
+
+def _stringify(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    str_rows = [[_stringify(c) for c in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(widths[j]) for j, c in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def series_to_csv(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> str:
+    """Render rows as simple CSV (no quoting — numeric payloads only)."""
+    out_lines = [",".join(headers)]
+    for row in rows:
+        cells = []
+        for cell in row:
+            text = _stringify(cell)
+            if "," in text:
+                raise ValueError(f"cell {text!r} contains a comma; not supported")
+            cells.append(text)
+        out_lines.append(",".join(cells))
+    return "\n".join(out_lines)

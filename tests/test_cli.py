@@ -1,0 +1,62 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table_commands_parse(self):
+        assert build_parser().parse_args(["table1"]).command == "table1"
+        assert build_parser().parse_args(["table2"]).command == "table2"
+
+    def test_fig5_grid_parsing(self):
+        args = build_parser().parse_args(
+            ["fig5", "--delta-ts", "1,2.5,10", "--queues", "40"]
+        )
+        assert args.delta_ts == (1.0, 2.5, 10.0)
+        assert args.queues == 40
+
+    def test_fig4_m_grid_parsing(self):
+        args = build_parser().parse_args(["fig4", "--m-grid", "10,20"])
+        assert args.m_grid == (10, 20)
+
+
+class TestExecution:
+    def test_table1_prints(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Δt" in out
+
+    def test_table2_prints(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out and "0.99" in out
+
+    def test_fig4_tiny_run_with_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "out" / "fig4.csv"
+        code = main(
+            [
+                "fig4",
+                "--delta-t", "5",
+                "--m-grid", "10",
+                "--runs", "2",
+                "--csv", str(csv_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert csv_path.exists()
+        assert csv_path.read_text().startswith("M,N,")
+
+    def test_fig5_tiny_run(self, capsys):
+        code = main(
+            ["fig5", "--queues", "10", "--delta-ts", "5", "--runs", "2"]
+        )
+        assert code == 0
+        assert "Figure 5" in capsys.readouterr().out

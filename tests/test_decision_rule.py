@@ -1,0 +1,210 @@
+"""Tests for decision rules (the MFC action space), incl. property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.meanfield.decision_rule import DecisionRule
+from repro.meanfield.discretization import per_state_arrival_rates
+
+
+def random_nu(rng, s):
+    return rng.dirichlet(np.ones(s))
+
+
+class TestConstruction:
+    def test_uniform_matches_eq35(self):
+        rule = DecisionRule.uniform(6, 2)
+        assert rule.probs.shape == (6, 6, 2)
+        assert np.allclose(rule.probs, 0.5)
+
+    def test_join_shortest_matches_eq34(self):
+        rule = DecisionRule.join_shortest(6, 2)
+        # strictly shorter first queue -> all mass on slot 0
+        assert rule.probs[1, 4, 0] == 1.0
+        assert rule.probs[1, 4, 1] == 0.0
+        # strictly shorter second queue -> all mass on slot 1
+        assert rule.probs[5, 2, 1] == 1.0
+        # ties split uniformly (N_min = 2)
+        assert rule.probs[3, 3, 0] == 0.5
+        assert rule.probs[3, 3, 1] == 0.5
+
+    def test_join_shortest_d3_tie_splitting(self):
+        rule = DecisionRule.join_shortest(4, 3)
+        assert np.allclose(rule.probs[2, 2, 2], [1 / 3] * 3)
+        assert np.allclose(rule.probs[1, 1, 3], [0.5, 0.5, 0.0])
+        assert np.allclose(rule.probs[3, 0, 3], [0.0, 1.0, 0.0])
+
+    def test_join_longest_is_adversarial(self):
+        rule = DecisionRule.join_longest(6, 2)
+        assert rule.probs[1, 4, 1] == 1.0
+        assert rule.probs[5, 2, 0] == 1.0
+
+    def test_threshold_interpolates(self):
+        s, d = 6, 2
+        assert DecisionRule.threshold(s, d, s) == DecisionRule.join_shortest(s, d)
+        assert DecisionRule.threshold(s, d, 0) == DecisionRule.uniform(s, d)
+        mid = DecisionRule.threshold(s, d, 3)
+        # below threshold acts like JSQ, above like RND
+        assert mid.probs[1, 4, 0] == 1.0
+        assert np.allclose(mid.probs[4, 5], [0.5, 0.5])
+
+    def test_rejects_non_stochastic(self):
+        bad = np.full((3, 3, 2), 0.3)
+        with pytest.raises(ValueError, match="sum to 1"):
+            DecisionRule(bad)
+
+    def test_rejects_negative(self):
+        probs = DecisionRule.uniform(3, 2).probs.copy()
+        probs[0, 0] = [-0.5, 1.5]
+        with pytest.raises(ValueError, match="negative"):
+            DecisionRule(probs)
+
+    def test_rejects_wrong_action_axis(self):
+        with pytest.raises(ValueError, match="last axis"):
+            DecisionRule(np.full((4, 4, 3), 1 / 3))
+
+    def test_rejects_ragged_state_axes(self):
+        with pytest.raises(ValueError, match="equal length"):
+            DecisionRule(np.full((4, 5, 2), 0.5))
+
+    def test_convex_combination(self):
+        jsq = DecisionRule.join_shortest(4, 2)
+        rnd = DecisionRule.uniform(4, 2)
+        mix = DecisionRule.convex_combination([jsq, rnd], [0.25, 0.75])
+        assert np.allclose(mix.probs, 0.25 * jsq.probs + 0.75 * rnd.probs)
+
+    def test_convex_combination_rejects_bad_weights(self):
+        jsq = DecisionRule.join_shortest(4, 2)
+        with pytest.raises(ValueError):
+            DecisionRule.convex_combination([jsq, jsq], [0.5, 0.6])
+
+
+class TestFromRaw:
+    @given(
+        raw=arrays(
+            np.float64,
+            st.just(18),
+            elements=st.floats(-5, 5, allow_nan=False),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_always_lands_on_simplex(self, raw):
+        rule = DecisionRule.from_raw(raw, 3, 2)
+        assert np.all(rule.probs >= 0)
+        assert np.allclose(rule.probs.sum(axis=-1), 1.0)
+
+    def test_floor_keeps_positive_mass(self):
+        raw = np.zeros(18)
+        raw[1::2] = 1.0  # slot 1 always dominant
+        rule = DecisionRule.from_raw(raw, 3, 2)
+        assert rule.probs[..., 0].min() > 0
+
+    def test_all_negative_raw_gives_uniform(self):
+        rule = DecisionRule.from_raw(-np.ones(18), 3, 2)
+        assert np.allclose(rule.probs, 0.5)
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(ValueError, match="entries"):
+            DecisionRule.from_raw(np.zeros(10), 3, 2)
+
+    def test_flat_roundtrip(self):
+        rng = np.random.default_rng(0)
+        rule = DecisionRule.from_raw(rng.random(72), 6, 2)
+        again = DecisionRule.from_flat(rule.flat(), 6, 2)
+        assert again == rule
+
+
+class TestApplication:
+    def test_action_probs_single_and_batch(self):
+        rule = DecisionRule.join_shortest(6, 2)
+        single = rule.action_probs(np.array([1, 4]))
+        assert single.shape == (2,)
+        batch = rule.action_probs(np.array([[1, 4], [4, 1], [2, 2]]))
+        assert batch.shape == (3, 2)
+        assert np.allclose(batch[0], [1, 0])
+        assert np.allclose(batch[1], [0, 1])
+        assert np.allclose(batch[2], [0.5, 0.5])
+
+    def test_action_probs_rejects_out_of_range(self):
+        rule = DecisionRule.uniform(4, 2)
+        with pytest.raises(ValueError):
+            rule.action_probs(np.array([[0, 4]]))
+
+    def test_sample_actions_deterministic_rule(self, rng):
+        rule = DecisionRule.join_shortest(6, 2)
+        zbar = np.array([[0, 5]] * 100)
+        u = rule.sample_actions(zbar, rng)
+        assert np.all(u == 0)
+
+    def test_sample_actions_frequencies(self, rng):
+        rule = DecisionRule.uniform(6, 2)
+        zbar = np.tile([2, 3], (20000, 1))
+        u = rule.sample_actions(zbar, rng)
+        assert abs(u.mean() - 0.5) < 0.02
+
+    def test_sample_actions_general_probabilities(self, rng):
+        probs = np.zeros((2, 2, 2))
+        probs[..., 0] = 0.2
+        probs[..., 1] = 0.8
+        rule = DecisionRule(probs)
+        u = rule.sample_actions(np.tile([0, 1], (30000, 1)), rng)
+        assert abs(u.mean() - 0.8) < 0.02
+
+
+class TestSymmetry:
+    def test_jsq_and_rnd_are_symmetric(self):
+        assert DecisionRule.join_shortest(5, 2).is_symmetric()
+        assert DecisionRule.uniform(5, 2).is_symmetric()
+        assert DecisionRule.join_shortest(3, 3).is_symmetric()
+
+    def test_symmetrized_is_idempotent(self, rng):
+        rule = DecisionRule.from_raw(rng.random(72), 6, 2)
+        sym = rule.symmetrized()
+        assert sym.is_symmetric()
+        assert sym.symmetrized().distance(sym) < 1e-12
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_symmetrization_preserves_arrival_rates(self, seed):
+        """The induced λ_t(ν, z) is invariant under symmetrization because
+        the sampling measure is exchangeable."""
+        rng = np.random.default_rng(seed)
+        s, d = 4, 2
+        rule = DecisionRule.from_raw(rng.random(s**d * d), s, d)
+        nu = rng.dirichlet(np.ones(s))
+        lam = 0.9
+        before = per_state_arrival_rates(nu, rule, lam)
+        after = per_state_arrival_rates(nu, rule.symmetrized(), lam)
+        assert np.allclose(before, after, atol=1e-12)
+
+    def test_symmetrization_preserves_rates_d3(self):
+        rng = np.random.default_rng(7)
+        s, d = 3, 3
+        rule = DecisionRule.from_raw(rng.random(s**d * d), s, d)
+        nu = rng.dirichlet(np.ones(s))
+        before = per_state_arrival_rates(nu, rule, 0.7)
+        after = per_state_arrival_rates(nu, rule.symmetrized(), 0.7)
+        assert np.allclose(before, after, atol=1e-12)
+
+
+class TestMisc:
+    def test_distance_metric_properties(self, rng):
+        a = DecisionRule.from_raw(rng.random(72), 6, 2)
+        b = DecisionRule.from_raw(rng.random(72), 6, 2)
+        assert a.distance(a) == 0.0
+        assert a.distance(b) == b.distance(a)
+        assert 0.0 <= a.distance(b) <= 1.0
+
+    def test_equality(self):
+        assert DecisionRule.uniform(4, 2) == DecisionRule.uniform(4, 2)
+        assert DecisionRule.uniform(4, 2) != DecisionRule.join_shortest(4, 2)
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(DecisionRule.uniform(3, 2))
+
+    def test_num_parameters(self):
+        assert DecisionRule.uniform(6, 2).num_parameters == 72

@@ -1,0 +1,280 @@
+"""Tests for the exact discretization engine (Eq. 20-28)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.integrate import solve_ivp
+
+from repro.meanfield.analytic import (
+    mm1b_drop_rate,
+    mm1b_stationary_distribution,
+)
+from repro.meanfield.decision_rule import DecisionRule
+from repro.meanfield.discretization import (
+    ExactPropagator,
+    TabulatedPropagator,
+    birth_death_generator,
+    epoch_update,
+    extended_generator,
+    per_state_arrival_rates,
+    propagate_state,
+    uniformization_transition_matrix,
+)
+
+
+class TestGenerators:
+    def test_rows_sum_to_zero(self):
+        g = birth_death_generator(0.7, 1.3, 6)
+        assert np.allclose(g.sum(axis=1), 0.0)
+
+    def test_structure(self):
+        g = birth_death_generator(0.7, 1.3, 4)
+        assert g[0, 1] == 0.7 and g[1, 0] == 1.3
+        assert g[2, 3] == 0.7 and g[3, 2] == 1.3
+        # no arrival transition out of the full state (drops don't move it)
+        assert g[3, 3] == -1.3
+        assert g[0, 0] == -0.7
+
+    def test_extended_generator_drop_column(self):
+        ext = extended_generator(0.7, 1.3, 4)
+        assert ext.shape == (5, 5)
+        assert ext[3, 4] == 0.7  # drop flux only from the full state
+        assert np.all(ext[4, :] == 0.0)
+        assert np.allclose(ext[:4, :4], birth_death_generator(0.7, 1.3, 4))
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            birth_death_generator(-0.1, 1.0, 4)
+        with pytest.raises(ValueError):
+            birth_death_generator(0.1, 1.0, 1)
+
+
+class TestPerStateArrivalRates:
+    def test_mass_identity_random_rules(self, rng):
+        """Σ_z ν(z) λ(ν,z) = λ — Poisson thinning conserves mass."""
+        s, d = 6, 2
+        for _ in range(10):
+            rule = DecisionRule.from_raw(rng.random(s**d * d), s, d)
+            nu = rng.dirichlet(np.ones(s))
+            rates = per_state_arrival_rates(nu, rule, 0.9)
+            assert abs(nu @ rates - 0.9) < 1e-12
+
+    def test_mass_identity_d3(self, rng):
+        s, d = 4, 3
+        rule = DecisionRule.from_raw(rng.random(s**d * d), s, d)
+        nu = rng.dirichlet(np.ones(s))
+        rates = per_state_arrival_rates(nu, rule, 0.6)
+        assert abs(nu @ rates - 0.6) < 1e-12
+
+    def test_rnd_rule_gives_uniform_rates(self, rng):
+        """Under MF-RND every queue sees exactly λ regardless of ν."""
+        s = 6
+        rule = DecisionRule.uniform(s, 2)
+        nu = rng.dirichlet(np.ones(s))
+        rates = per_state_arrival_rates(nu, rule, 0.8)
+        assert np.allclose(rates, 0.8)
+
+    def test_jsq_concentrates_on_minimum(self):
+        """With mass on states {0, 5}, JSQ sends everything to state 0."""
+        s = 6
+        rule = DecisionRule.join_shortest(s, 2)
+        nu = np.zeros(s)
+        nu[0], nu[5] = 0.5, 0.5
+        rates = per_state_arrival_rates(nu, rule, 1.0)
+        # state-0 queues: chosen unless both samples landed on state 5
+        # rate = λ/ν(0) * P(chosen queue in state 0) = (1 - 0.25)/0.5
+        assert rates[0] == pytest.approx((1 - 0.25) / 0.5)
+        # state-5 queues get the rest
+        assert rates[5] == pytest.approx(0.25 / 0.5)
+        # λ(z) is defined for *hypothetical* occupancies too: a queue in an
+        # intermediate state would beat state-5 samples and lose to state-0
+        # ones, so it would see exactly λ·(2·ν(5)·1 + 2·ν(0)·0)/... = 1.0.
+        assert np.allclose(rates[1:5], 1.0)
+        # the mass identity only weighs occupied states
+        assert nu @ rates == pytest.approx(1.0)
+
+    def test_rate_bounded_by_d_lambda(self, rng):
+        """Section 3 uses λ_t(ν,z) ≤ d·λ_t."""
+        s, d, lam = 5, 2, 0.9
+        for _ in range(20):
+            rule = DecisionRule.from_raw(rng.random(s**d * d), s, d)
+            nu = rng.dirichlet(np.ones(s) * rng.uniform(0.2, 3.0))
+            rates = per_state_arrival_rates(nu, rule, lam)
+            assert rates.max() <= d * lam + 1e-9
+            assert rates.min() >= -1e-15
+
+    def test_empty_state_rate_well_defined(self):
+        """ν(z) = 0 must not blow up (cancelled form of Eq. 22)."""
+        s = 4
+        rule = DecisionRule.join_shortest(s, 2)
+        nu = np.zeros(s)
+        nu[3] = 1.0
+        rates = per_state_arrival_rates(nu, rule, 1.0)
+        assert np.all(np.isfinite(rates))
+        assert rates[3] == pytest.approx(1.0)
+
+    def test_shape_validation(self):
+        rule = DecisionRule.uniform(4, 2)
+        with pytest.raises(ValueError):
+            per_state_arrival_rates(np.ones(5) / 5, rule, 1.0)
+        with pytest.raises(ValueError):
+            per_state_arrival_rates(np.ones(4) / 4, rule, -1.0)
+
+
+class TestPropagateState:
+    def test_rows_are_distributions(self):
+        trans, drops = propagate_state(np.linspace(0, 1.8, 6), 1.0, 2.0, 6)
+        assert trans.shape == (6, 6)
+        assert np.allclose(trans.sum(axis=1), 1.0)
+        assert np.all(trans >= -1e-12)
+        assert np.all(drops >= 0)
+
+    def test_matches_uniformization(self):
+        for lam, dt in [(0.3, 1.0), (1.5, 5.0), (0.0, 2.0)]:
+            trans, _ = propagate_state(np.full(5, lam), 1.0, dt, 5)
+            for z in range(5):
+                uni = uniformization_transition_matrix(lam, 1.0, 5, dt)
+                assert np.allclose(trans[z], uni[z], atol=1e-9)
+
+    def test_drops_match_ode_integration(self):
+        """Cross-check drops against direct integration of Eq. (25)."""
+        s, lam, alpha, dt = 5, 1.2, 1.0, 3.0
+        g = birth_death_generator(lam, alpha, s)
+
+        def rhs(_t, y):
+            p, _cum = y[:s], y[s]
+            return np.concatenate([p @ g, [lam * p[s - 1]]])
+
+        _, drops = propagate_state(np.full(s, lam), alpha, dt, s)
+        for z in range(s):
+            y0 = np.zeros(s + 1)
+            y0[z] = 1.0
+            sol = solve_ivp(rhs, (0, dt), y0, rtol=1e-10, atol=1e-12)
+            assert drops[z] == pytest.approx(sol.y[s, -1], rel=1e-6)
+
+    def test_zero_delta_t_rejected(self):
+        with pytest.raises(ValueError):
+            propagate_state(np.ones(4), 1.0, 0.0, 4)
+
+    def test_short_epoch_is_near_identity(self):
+        trans, drops = propagate_state(np.full(6, 0.9), 1.0, 1e-6, 6)
+        assert np.allclose(trans, np.eye(6), atol=1e-5)
+        assert drops.max() < 1e-5
+
+    def test_long_epoch_reaches_stationarity(self):
+        lam, alpha = 0.8, 1.0
+        trans, _ = propagate_state(np.full(6, lam), alpha, 500.0, 6)
+        pi = mm1b_stationary_distribution(lam, alpha, 5)
+        for z in range(6):
+            assert np.allclose(trans[z], pi, atol=1e-8)
+
+
+class TestEpochUpdate:
+    def test_preserves_simplex(self, rng):
+        s, d = 6, 2
+        nu = rng.dirichlet(np.ones(s))
+        rule = DecisionRule.from_raw(rng.random(s**d * d), s, d)
+        nu_next, drops = epoch_update(nu, rule, 0.9, 1.0, 2.0)
+        assert nu_next.shape == (s,)
+        assert np.all(nu_next >= 0)
+        assert nu_next.sum() == pytest.approx(1.0)
+        assert drops >= 0
+
+    def test_rnd_constant_lambda_converges_to_mm1b(self):
+        s, lam, alpha, dt = 6, 0.8, 1.0, 1.0
+        rule = DecisionRule.uniform(s, 2)
+        nu = np.zeros(s)
+        nu[0] = 1.0
+        for _ in range(2000):
+            nu, drops = epoch_update(nu, rule, lam, alpha, dt)
+        pi = mm1b_stationary_distribution(lam, alpha, s - 1)
+        assert np.allclose(nu, pi, atol=1e-10)
+        assert drops == pytest.approx(mm1b_drop_rate(lam, alpha, s - 1) * dt, rel=1e-8)
+
+    def test_drops_bounded_by_offered_load(self, rng):
+        """D_t ≤ d·λ·Δt (can't drop more than the max arriving mass)."""
+        s, d, lam, dt = 6, 2, 0.9, 5.0
+        for _ in range(10):
+            rule = DecisionRule.from_raw(rng.random(s**d * d), s, d)
+            nu = rng.dirichlet(np.ones(s))
+            _, drops = epoch_update(nu, rule, lam, 1.0, dt)
+            assert 0.0 <= drops <= d * lam * dt + 1e-9
+
+    def test_jsq_beats_join_longest(self):
+        """Sanity ordering: routing to full queues must drop more."""
+        s = 6
+        jsq = DecisionRule.join_shortest(s, 2)
+        jlq = DecisionRule.join_longest(s, 2)
+        nu = np.full(s, 1 / s)
+        _, d_jsq = epoch_update(nu, jsq, 0.9, 1.0, 1.0)
+        _, d_jlq = epoch_update(nu, jlq, 0.9, 1.0, 1.0)
+        assert d_jsq < d_jlq
+
+
+class TestPropagators:
+    def test_exact_propagator_matches_epoch_update(self, rng):
+        s, d = 6, 2
+        nu = rng.dirichlet(np.ones(s))
+        rule = DecisionRule.from_raw(rng.random(s**d * d), s, d)
+        lam = 0.9
+        rates = per_state_arrival_rates(nu, rule, lam)
+        prop = ExactPropagator(s, 1.0, 2.0)
+        nu_a, drops_a = prop.propagate(nu, rates)
+        nu_b, drops_b = epoch_update(nu, rule, lam, 1.0, 2.0)
+        assert np.allclose(nu_a, nu_b)
+        assert drops_a == pytest.approx(drops_b)
+
+    def test_tabulated_close_to_exact(self, rng):
+        s = 6
+        tab = TabulatedPropagator(s, 1.0, 2.0, max_arrival=1.8, grid_size=257)
+        exact = ExactPropagator(s, 1.0, 2.0)
+        for _ in range(20):
+            nu = rng.dirichlet(np.ones(s))
+            rates = rng.uniform(0, 1.8, size=s)
+            nu_t, d_t = tab.propagate(nu, rates)
+            nu_e, d_e = exact.propagate(nu, rates)
+            assert np.abs(nu_t - nu_e).max() < 1e-3
+            assert abs(d_t - d_e) < 1e-3
+
+    def test_tabulated_stays_on_simplex(self, rng):
+        tab = TabulatedPropagator(6, 1.0, 5.0, max_arrival=1.8, grid_size=17)
+        for _ in range(20):
+            nu = rng.dirichlet(np.ones(6))
+            rates = rng.uniform(0, 1.8, size=6)
+            nu_t, d_t = tab.propagate(nu, rates)
+            assert np.all(nu_t >= 0) and nu_t.sum() == pytest.approx(1.0)
+            assert d_t >= 0
+
+    def test_tabulated_error_shrinks_with_grid(self):
+        coarse = TabulatedPropagator(6, 1.0, 2.0, 1.8, grid_size=9)
+        fine = TabulatedPropagator(6, 1.0, 2.0, 1.8, grid_size=129)
+        assert fine.max_interpolation_error(25) < coarse.max_interpolation_error(25)
+
+    def test_tabulated_rejects_out_of_range(self):
+        tab = TabulatedPropagator(4, 1.0, 1.0, max_arrival=1.0)
+        with pytest.raises(ValueError):
+            tab.propagate(np.full(4, 0.25), np.array([0.0, 0.5, 0.9, 1.5]))
+
+    def test_exact_grid_points_are_exact(self):
+        tab = TabulatedPropagator(4, 1.0, 1.5, max_arrival=1.0, grid_size=11)
+        rates = np.array([0.0, 0.1, 0.5, 1.0])  # all on the grid
+        exact = ExactPropagator(4, 1.0, 1.5)
+        nu = np.full(4, 0.25)
+        nu_t, d_t = tab.propagate(nu, rates)
+        nu_e, d_e = exact.propagate(nu, rates)
+        assert np.allclose(nu_t, nu_e, atol=1e-12)
+        assert d_t == pytest.approx(d_e, abs=1e-12)
+
+
+@given(
+    lam=st.floats(0.0, 1.8),
+    dt=st.floats(0.1, 10.0),
+    z=st.integers(0, 5),
+)
+@settings(max_examples=40, deadline=None)
+def test_propagator_row_is_distribution_property(lam, dt, z):
+    trans, drops = propagate_state(np.full(6, lam), 1.0, dt, 6)
+    assert trans[z].sum() == pytest.approx(1.0, abs=1e-9)
+    assert np.all(trans[z] >= -1e-12)
+    assert 0.0 <= drops[z] <= lam * dt + 1e-9

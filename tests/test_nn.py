@@ -1,0 +1,156 @@
+"""Neural-network tests, including finite-difference gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.rl.nn import MLP, GaussianPolicyNetwork, ValueNetwork
+
+
+def finite_difference_grads(mlp: MLP, x: np.ndarray, weights: np.ndarray, eps=1e-6):
+    """Numerical gradient of L = sum(weights * mlp(x)) wrt every parameter."""
+    grads = {}
+    for key in mlp.params:
+        param = mlp.params[key]
+        grad = np.zeros_like(param)
+        it = np.nditer(param, flags=["multi_index"])
+        while not it.finished:
+            idx = it.multi_index
+            old = param[idx]
+            param[idx] = old + eps
+            up = float((mlp(x) * weights).sum())
+            param[idx] = old - eps
+            down = float((mlp(x) * weights).sum())
+            param[idx] = old
+            grad[idx] = (up - down) / (2 * eps)
+            it.iternext()
+        grads[key] = grad
+    return grads
+
+
+class TestMLP:
+    def test_shapes(self, rng):
+        mlp = MLP(4, (8, 6), 3, rng=rng)
+        out, cache = mlp.forward(rng.random((10, 4)))
+        assert out.shape == (10, 3)
+        assert len(cache) == 3  # input + 2 hidden activations
+
+    def test_single_sample_promoted(self, rng):
+        mlp = MLP(4, (8,), 2, rng=rng)
+        out, _ = mlp.forward(rng.random(4))
+        assert out.shape == (1, 2)
+
+    def test_rejects_wrong_input_dim(self, rng):
+        mlp = MLP(4, (8,), 2, rng=rng)
+        with pytest.raises(ValueError):
+            mlp.forward(rng.random((3, 5)))
+
+    def test_rejects_unknown_activation(self):
+        with pytest.raises(ValueError):
+            MLP(4, (8,), 2, activation="sigmoidish")
+
+    def test_normc_initialization_column_norms(self, rng):
+        mlp = MLP(10, (16,), 4, rng=rng, out_std=0.01)
+        w0 = mlp.params["W0"]
+        assert np.allclose(np.linalg.norm(w0, axis=0), 1.0)
+        w1 = mlp.params["W1"]
+        assert np.allclose(np.linalg.norm(w1, axis=0), 0.01)
+        assert np.all(mlp.params["b0"] == 0)
+
+    @pytest.mark.parametrize("activation", ["tanh", "relu"])
+    def test_backward_matches_finite_differences(self, activation, rng):
+        mlp = MLP(3, (5, 4), 2, activation=activation, rng=rng, out_std=0.5)
+        x = rng.random((7, 3))
+        weights = rng.standard_normal((7, 2))
+        out, cache = mlp.forward(x)
+        analytic = mlp.backward(cache, weights)
+        numeric = finite_difference_grads(mlp, x, weights)
+        for key in analytic:
+            assert np.allclose(analytic[key], numeric[key], atol=1e-5), key
+
+    def test_flat_roundtrip(self, rng):
+        mlp = MLP(3, (5,), 2, rng=rng)
+        flat = mlp.get_flat()
+        mlp2 = MLP(3, (5,), 2, rng=np.random.default_rng(99))
+        mlp2.set_flat(flat)
+        x = rng.random((4, 3))
+        assert np.allclose(mlp(x), mlp2(x))
+
+    def test_set_flat_validates_size(self, rng):
+        mlp = MLP(3, (5,), 2, rng=rng)
+        with pytest.raises(ValueError):
+            mlp.set_flat(np.zeros(3))
+
+    def test_num_parameters(self):
+        mlp = MLP(3, (5,), 2, rng=0)
+        assert mlp.num_parameters() == 3 * 5 + 5 + 5 * 2 + 2
+
+
+class TestGaussianPolicyNetwork:
+    def test_forward_shapes(self, rng):
+        net = GaussianPolicyNetwork(4, 6, (8,), rng=rng)
+        mu, log_std, _ = net.forward(rng.random((5, 4)))
+        assert mu.shape == (5, 6)
+        assert log_std.shape == (5, 6)
+
+    def test_initial_log_std(self, rng):
+        net = GaussianPolicyNetwork(4, 6, (8,), initial_log_std=-1.5, rng=rng)
+        assert np.allclose(net.log_std, -1.5)
+
+    def test_backward_includes_log_std(self, rng):
+        net = GaussianPolicyNetwork(4, 3, (8,), rng=rng)
+        obs = rng.random((5, 4))
+        _, _, cache = net.forward(obs)
+        grads = net.backward(cache, np.ones((5, 3)), 2 * np.ones((5, 3)))
+        assert "log_std" in grads
+        assert np.allclose(grads["log_std"], 10.0)  # summed over batch
+
+    def test_apply_update(self, rng):
+        net = GaussianPolicyNetwork(4, 3, (8,), rng=rng)
+        before = net.log_std.copy()
+        net.apply_update({"log_std": np.full(3, 0.25)})
+        assert np.allclose(net.log_std, before + 0.25)
+
+    def test_state_dict_roundtrip(self, rng):
+        net = GaussianPolicyNetwork(4, 3, (8, 8), rng=rng)
+        state = net.state_dict()
+        net2 = GaussianPolicyNetwork(4, 3, (8, 8), rng=np.random.default_rng(1))
+        net2.load_state_dict(state)
+        obs = rng.random((6, 4))
+        mu1, ls1, _ = net.forward(obs)
+        mu2, ls2, _ = net2.forward(obs)
+        assert np.allclose(mu1, mu2)
+        assert np.allclose(ls1, ls2)
+
+    def test_load_rejects_unknown_keys(self, rng):
+        net = GaussianPolicyNetwork(4, 3, (8,), rng=rng)
+        with pytest.raises(ValueError):
+            net.load_state_dict({"bogus": np.zeros(3)})
+
+    def test_load_rejects_shape_mismatch(self, rng):
+        net = GaussianPolicyNetwork(4, 3, (8,), rng=rng)
+        with pytest.raises(ValueError):
+            net.load_state_dict({"log_std": np.zeros(5)})
+
+
+class TestValueNetwork:
+    def test_scalar_output(self, rng):
+        net = ValueNetwork(4, (8,), rng=rng)
+        values = net(rng.random((9, 4)))
+        assert values.shape == (9,)
+
+    def test_backward_matches_finite_differences(self, rng):
+        net = ValueNetwork(3, (6,), rng=rng)
+        obs = rng.random((5, 3))
+        weights = rng.standard_normal(5)
+        _, cache = net.forward(obs)
+        analytic = net.backward(cache, weights)
+        numeric = finite_difference_grads(net.trunk, obs, weights[:, None])
+        for key in analytic:
+            assert np.allclose(analytic[key], numeric[key], atol=1e-5), key
+
+    def test_state_dict_roundtrip(self, rng):
+        net = ValueNetwork(4, (8,), rng=rng)
+        net2 = ValueNetwork(4, (8,), rng=np.random.default_rng(5))
+        net2.load_state_dict(net.state_dict())
+        obs = rng.random((3, 4))
+        assert np.allclose(net(obs), net2(obs))

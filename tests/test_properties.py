@@ -1,0 +1,177 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These encode the invariants listed in DESIGN.md §6 over *randomized*
+rules, distributions and parameters — the places where a subtle indexing
+or normalization bug would silently skew every experiment.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.meanfield.decision_rule import DecisionRule
+from repro.meanfield.discretization import (
+    epoch_update,
+    per_state_arrival_rates,
+    propagate_state,
+)
+from repro.meanfield.stationary import stationary_distribution
+from repro.queueing.clients import (
+    expected_choice_counts,
+    infinite_client_rates,
+)
+
+S, D = 4, 2
+RAW = arrays(
+    np.float64,
+    st.just(S**D * D),
+    elements=st.floats(-3, 3, allow_nan=False),
+)
+SIMPLEX_WEIGHTS = arrays(
+    np.float64, st.just(S), elements=st.floats(0.01, 10.0, allow_nan=False)
+)
+
+
+def _nu(weights: np.ndarray) -> np.ndarray:
+    return weights / weights.sum()
+
+
+@given(raw=RAW, weights=SIMPLEX_WEIGHTS, lam=st.floats(0.01, 2.0))
+@settings(max_examples=60, deadline=None)
+def test_arrival_mass_identity(raw, weights, lam):
+    """Σ_z ν(z) λ(ν,z) = λ for every rule/distribution/intensity."""
+    rule = DecisionRule.from_raw(raw, S, D)
+    nu = _nu(weights)
+    rates = per_state_arrival_rates(nu, rule, lam)
+    assert nu @ rates == pytest.approx(lam, rel=1e-10)
+    assert rates.min() >= -1e-12
+    assert rates.max() <= D * lam + 1e-9
+
+
+@given(raw=RAW, weights=SIMPLEX_WEIGHTS, lam=st.floats(0.01, 1.5),
+       dt=st.floats(0.1, 8.0))
+@settings(max_examples=40, deadline=None)
+def test_epoch_update_stays_on_simplex(raw, weights, lam, dt):
+    rule = DecisionRule.from_raw(raw, S, D)
+    nu = _nu(weights)
+    nu_next, drops = epoch_update(nu, rule, lam, 1.0, dt)
+    assert nu_next.min() >= 0
+    assert nu_next.sum() == pytest.approx(1.0)
+    assert 0.0 <= drops <= D * lam * dt + 1e-9
+
+
+@given(raw=RAW, weights=SIMPLEX_WEIGHTS, lam=st.floats(0.01, 1.5))
+@settings(max_examples=30, deadline=None)
+def test_flow_composition_over_two_epochs(raw, weights, lam):
+    """Two Δt/2 epochs with refreshed rates differ from one Δt epoch
+    (information refresh matters) — but both conserve probability and
+    produce non-negative drops. Guards against accidentally reusing
+    stale rates across the refresh boundary."""
+    rule = DecisionRule.from_raw(raw, S, D)
+    nu = _nu(weights)
+    nu_half, d1 = epoch_update(nu, rule, lam, 1.0, 1.0)
+    nu_two, d2 = epoch_update(nu_half, rule, lam, 1.0, 1.0)
+    nu_once, d_once = epoch_update(nu, rule, lam, 1.0, 2.0)
+    assert nu_two.sum() == pytest.approx(1.0)
+    assert nu_once.sum() == pytest.approx(1.0)
+    assert d1 + d2 >= 0 and d_once >= 0
+
+
+@given(
+    lam=st.floats(0.0, 1.8),
+    alpha=st.floats(0.3, 2.0),
+    dt1=st.floats(0.1, 4.0),
+    dt2=st.floats(0.1, 4.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_propagator_semigroup_property(lam, alpha, dt1, dt2):
+    """With *frozen* rates the propagator is a semigroup:
+    P(dt1) @ P(dt2) = P(dt1 + dt2)."""
+    p1, _ = propagate_state(np.full(S, lam), alpha, dt1, S)
+    p2, _ = propagate_state(np.full(S, lam), alpha, dt2, S)
+    p12, _ = propagate_state(np.full(S, lam), alpha, dt1 + dt2, S)
+    assert np.allclose(p1 @ p2, p12, atol=1e-9)
+
+
+@given(
+    lam=st.floats(0.05, 1.7),
+    dt1=st.floats(0.2, 3.0),
+    dt2=st.floats(0.2, 3.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_drops_additive_along_frozen_path(lam, dt1, dt2):
+    """Expected drops accumulate additively when rates stay frozen:
+    D(dt1+dt2 | z) = D(dt1 | z) + Σ_z' P(dt1)[z,z'] D(dt2 | z')."""
+    rates = np.full(S, lam)
+    p1, d1 = propagate_state(rates, 1.0, dt1, S)
+    _, d2 = propagate_state(rates, 1.0, dt2, S)
+    _, d12 = propagate_state(rates, 1.0, dt1 + dt2, S)
+    assert np.allclose(d12, d1 + p1 @ d2, atol=1e-9)
+
+
+@given(raw=RAW, states=arrays(np.int64, st.just(12),
+                              elements=st.integers(0, S - 1)))
+@settings(max_examples=40, deadline=None)
+def test_infinite_client_rates_conserve_mass(raw, states):
+    rule = DecisionRule.from_raw(raw, S, D)
+    lam = 0.7
+    rates = infinite_client_rates(states, rule, lam)
+    assert rates.sum() == pytest.approx(states.size * lam, rel=1e-9)
+    assert rates.min() >= -1e-12
+
+
+@given(raw=RAW, states=arrays(np.int64, st.just(10),
+                              elements=st.integers(0, S - 1)),
+       n=st.integers(1, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_expected_counts_sum_to_n(raw, states, n):
+    rule = DecisionRule.from_raw(raw, S, D)
+    expected = expected_choice_counts(states, n, rule)
+    assert expected.sum() == pytest.approx(float(n), rel=1e-9)
+    assert expected.min() >= -1e-12
+
+
+@given(raw=RAW, lam=st.floats(0.1, 1.2), dt=st.floats(0.25, 6.0))
+@settings(max_examples=15, deadline=None)
+def test_stationary_fixed_points_exist_for_random_rules(raw, lam, dt):
+    rule = DecisionRule.from_raw(raw, S, D)
+    result = stationary_distribution(
+        rule, lam, 1.0, dt, tol=1e-10, max_iterations=20_000
+    )
+    assert result.converged
+    nu_next, _ = epoch_update(result.nu, rule, lam, 1.0, dt)
+    assert np.abs(nu_next - result.nu).sum() < 1e-8
+
+
+@given(raw=RAW, weights=SIMPLEX_WEIGHTS)
+@settings(max_examples=40, deadline=None)
+def test_rule_symmetrization_is_projection(raw, weights):
+    """Symmetrize twice = symmetrize once, and the induced dynamics are
+    unchanged (exchangeable sampling measure)."""
+    rule = DecisionRule.from_raw(raw, S, D)
+    sym = rule.symmetrized()
+    assert sym.symmetrized().distance(sym) < 1e-12
+    nu = _nu(weights)
+    a, da = epoch_update(nu, rule, 0.8, 1.0, 1.5)
+    b, db = epoch_update(nu, sym, 0.8, 1.0, 1.5)
+    assert np.allclose(a, b, atol=1e-10)
+    assert da == pytest.approx(db, abs=1e-10)
+
+
+@given(
+    weights=SIMPLEX_WEIGHTS,
+    lam=st.floats(0.05, 1.5),
+    dt=st.floats(0.2, 6.0),
+)
+@settings(max_examples=30, deadline=None)
+def test_jsq_never_worse_than_join_longest(weights, lam, dt):
+    """Dominance sanity: routing to the shortest sampled queue can never
+    drop more (in one epoch, same ν) than routing to the longest."""
+    nu = _nu(weights)
+    jsq = DecisionRule.join_shortest(S, D)
+    jlq = DecisionRule.join_longest(S, D)
+    _, d_jsq = epoch_update(nu, jsq, lam, 1.0, dt)
+    _, d_jlq = epoch_update(nu, jlq, lam, 1.0, dt)
+    assert d_jsq <= d_jlq + 1e-12
