@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Batched vs scalar simulation backend: wall-clock and equivalence.
+
+Runs a Figure-5-style synchronization-delay sweep (bench scale:
+``M = 100`` queues, ``N = 4M`` clients, ``Δt ∈ {1..10}``, 32 Monte-Carlo
+replicas, per-packet randomization) twice — once through the lock-step
+:class:`repro.queueing.batched_env.BatchedFiniteSystemEnv` backend and
+once by looping the scalar :class:`repro.queueing.env.FiniteSystemEnv`
+per replica — and reports per-``Δt`` wall-clock plus a statistical
+equivalence check of the drop estimates (both backends simulate the
+same law; see ``docs/scaling.md`` for the scaling regime in which the
+batched path wins and where the two converge).
+
+Runs standalone or under pytest-benchmark:
+
+    PYTHONPATH=src python benchmarks/bench_batched_backend.py [--quick]
+    PYTHONPATH=src python -m pytest benchmarks/bench_batched_backend.py
+
+The full sweep asserts the batched backend is at least ``MIN_SPEEDUP``×
+faster; ``--quick`` shrinks the grid for CI smoke and only checks
+equivalence (tiny timings are dominated by noise).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.config import paper_system_config
+from repro.experiments.runner import evaluate_policy_finite
+from repro.policies.static import JoinShortestQueuePolicy
+from repro.utils.tables import format_table
+
+MIN_SPEEDUP = 5.0
+FULL_DELTA_TS = tuple(float(x) for x in range(1, 11))
+QUICK_DELTA_TS = (2.0, 5.0)
+
+
+def run_backend_sweep(
+    backend: str,
+    delta_ts=FULL_DELTA_TS,
+    num_queues: int = 100,
+    clients_per_queue: int = 4,
+    num_runs: int = 32,
+    seed: int = 0,
+) -> tuple[dict, float]:
+    """Evaluate JSQ(2) over the delay sweep with one backend.
+
+    Returns ``(per-Δt MonteCarloResult dict, total wall-clock seconds)``.
+    """
+    results = {}
+    total = 0.0
+    for dt in delta_ts:
+        cfg = paper_system_config(
+            delta_t=dt,
+            num_queues=num_queues,
+            num_clients=clients_per_queue * num_queues,
+        )
+        policy = JoinShortestQueuePolicy(cfg.num_queue_states, cfg.d)
+        num_epochs = max(1, round(500.0 / dt))
+        start = time.perf_counter()
+        results[dt] = evaluate_policy_finite(
+            cfg,
+            policy,
+            num_runs=num_runs,
+            num_epochs=num_epochs,
+            seed=seed,
+            backend=backend,
+            max_batch_replicas=num_runs,
+            env_kwargs={"per_packet_randomization": True},
+        )
+        total += time.perf_counter() - start
+    return results, total
+
+
+def equivalence_gaps(batched: dict, scalar: dict) -> dict[float, float]:
+    """Per-Δt z-scores of the batched-vs-scalar mean-drop difference.
+
+    Both backends sample the same distribution from different streams,
+    so the standardized gap should look standard-normal per Δt.
+    """
+    gaps = {}
+    for dt, rb in batched.items():
+        rs = scalar[dt]
+        se = np.hypot(
+            rb.drops.std(ddof=1) / np.sqrt(rb.drops.size),
+            rs.drops.std(ddof=1) / np.sqrt(rs.drops.size),
+        )
+        gaps[dt] = abs(rb.mean_drops - rs.mean_drops) / max(se, 1e-12)
+    return gaps
+
+
+def run_bench(quick: bool = False, seed: int = 0) -> dict:
+    delta_ts = QUICK_DELTA_TS if quick else FULL_DELTA_TS
+    num_runs = 16 if quick else 32
+    batched, t_batched = run_backend_sweep(
+        "batched", delta_ts, num_runs=num_runs, seed=seed
+    )
+    scalar, t_scalar = run_backend_sweep(
+        "scalar", delta_ts, num_runs=num_runs, seed=seed
+    )
+    gaps = equivalence_gaps(batched, scalar)
+
+    rows = []
+    for dt in delta_ts:
+        rb, rs = batched[dt], scalar[dt]
+        rows.append(
+            [
+                f"{dt:g}",
+                f"{rb.mean_drops:.2f}±{rb.interval.half_width:.2f}",
+                f"{rs.mean_drops:.2f}±{rs.interval.half_width:.2f}",
+                f"{gaps[dt]:.2f}",
+            ]
+        )
+    speedup = t_scalar / t_batched
+    print(
+        format_table(
+            ["Δt", "batched drops", "scalar drops", "|z|"],
+            rows,
+            title=(
+                f"Batched vs scalar backend — {num_runs} replicas, "
+                f"JSQ(2), per-packet randomization"
+            ),
+        )
+    )
+    print(
+        f"\nwall-clock: batched {t_batched:.2f}s, scalar {t_scalar:.2f}s "
+        f"-> {speedup:.1f}x speedup"
+    )
+
+    # Statistical equivalence: with independent streams the worst |z|
+    # over the grid stays small; 4 SEs is a generous, non-flaky bound.
+    worst = max(gaps.values())
+    assert worst < 4.0, f"backends disagree: worst |z| = {worst:.2f}"
+    if not quick:
+        assert speedup >= MIN_SPEEDUP, (
+            f"batched backend only {speedup:.1f}x faster "
+            f"(expected >= {MIN_SPEEDUP}x)"
+        )
+    return {"speedup": speedup, "worst_z": worst}
+
+
+def test_batched_backend(benchmark, results_dir):
+    """pytest-benchmark entry point (full sweep)."""
+    from conftest import run_once
+
+    stats = run_once(benchmark, run_bench, quick=False)
+    (results_dir / "batched_backend.txt").write_text(
+        f"speedup={stats['speedup']:.2f}x worst_z={stats['worst_z']:.2f}\n"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small grid, equivalence check only (CI smoke)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    run_bench(quick=args.quick, seed=args.seed)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

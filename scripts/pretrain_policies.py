@@ -68,6 +68,7 @@ def pretrain_one(
     horizon: int = 100,
     eval_episodes: int = 30,
     seed: int = 0,
+    num_envs: int = 1,
     verbose: bool = True,
 ) -> dict:
     """Run the full pipeline for one delay; returns the metadata dict."""
@@ -106,7 +107,7 @@ def pretrain_one(
 
     # Stage 2: behavior cloning into the paper's network.
     ppo_cfg = finetune_ppo_config(seed)
-    trainer = PPOTrainer(env, ppo_cfg, seed=seed)
+    trainer = PPOTrainer(env, ppo_cfg, seed=seed, num_envs=num_envs)
     obs = collect_visited_observations(env, cem.rule, episodes=5, seed=seed)
     mse = clone_rule(trainer.policy, cem.rule, obs, epochs=300, seed=seed)
     if verbose:
@@ -177,6 +178,12 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--iters", type=int, default=25, help="PPO iterations")
     parser.add_argument("--cem-gens", type=int, default=15)
+    parser.add_argument(
+        "--num-envs",
+        type=int,
+        default=1,
+        help="lock-step MFC envs for PPO collection (vectorized rollouts)",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--out",
@@ -189,6 +196,14 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    batch_size = finetune_ppo_config(args.seed).train_batch_size
+    if args.num_envs < 1 or batch_size % args.num_envs != 0:
+        # Fail before the CEM stage: the PPO batch must split evenly
+        # across the lock-step environments (PPOTrainer re-checks).
+        parser.error(
+            f"--num-envs must divide the PPO train batch size "
+            f"{batch_size}, got {args.num_envs}"
+        )
     delta_ts = [float(x) for x in args.delta_ts.split(",") if x.strip()]
     out_dir = args.out
     if out_dir is None:
@@ -205,6 +220,7 @@ def main(argv=None) -> int:
             cem_generations=cem_gens,
             ppo_iterations=iters,
             seed=args.seed,
+            num_envs=args.num_envs,
         )
     return 0
 

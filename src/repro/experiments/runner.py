@@ -5,6 +5,17 @@ the finite system and reports the mean cumulative per-queue packet drops
 with 95% confidence intervals. :func:`evaluate_policy_finite` is that
 loop; :func:`policy_suite` builds the standard comparison set
 (MF / JSQ(2) / RND) used by Figures 5 and 6.
+
+Since the batched-backend refactor the ``n`` replicas run in lock-step
+through :class:`repro.queueing.batched_env.BatchedFiniteSystemEnv`
+(queue states ``(E, M)``, one kernel call per epoch for the whole
+ensemble) instead of one scalar environment at a time — the Figure 4-6
+seed- and ``N``-sweeps all flow through this path. Replicas are chunked
+(``max_batch_replicas``) so the ``(E, N, d)`` client-sampling buffers
+stay bounded for the paper's largest ``N = 10^6`` settings, and
+``backend="scalar"`` forces the historical per-replica loop (identical
+in distribution; used by the equivalence tests and as a fallback for
+custom scalar-only environments).
 """
 
 from __future__ import annotations
@@ -15,6 +26,10 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.config import SystemConfig
+from repro.queueing.batched_env import (
+    BatchedFiniteSystemEnv,
+    run_episodes_batched,
+)
 from repro.queueing.env import FiniteSystemEnv, run_episode
 from repro.utils.rng import spawn_generators
 from repro.utils.stats import ConfidenceInterval, mean_confidence_interval
@@ -45,23 +60,54 @@ def evaluate_policy_finite(
     num_runs: int | None = None,
     num_epochs: int | None = None,
     seed=0,
-    env_cls=FiniteSystemEnv,
+    env_cls=None,
     env_kwargs: dict | None = None,
+    backend: str = "batched",
+    max_batch_replicas: int = 64,
 ) -> MonteCarloResult:
     """Monte-Carlo estimate of cumulative per-queue drops (Figures 4-6).
 
-    Each run uses an independent generator spawned from ``seed``; the
-    environment is rebuilt per run so runs are fully independent.
+    ``backend="batched"`` (default) simulates the runs as lock-step
+    replicas of a :class:`BatchedFiniteSystemEnv` in chunks of at most
+    ``max_batch_replicas``; each chunk draws from its own generator
+    spawned from ``seed``. ``backend="scalar"`` rebuilds one scalar
+    environment per run (one spawned generator each) — the historical
+    path, kept for equivalence testing and for custom ``env_cls``
+    overrides, which stay scalar-only.
     """
     runs = int(num_runs if num_runs is not None else config.monte_carlo_runs)
     if runs < 1:
         raise ValueError("num_runs must be >= 1")
-    rngs = spawn_generators(seed, runs)
-    drops = np.empty(runs)
-    for i, rng in enumerate(rngs):
-        env = env_cls(config, seed=rng, **(env_kwargs or {}))
-        result = run_episode(env, policy, num_epochs=num_epochs, seed=rng)
-        drops[i] = result.total_drops_per_queue
+    if backend not in ("batched", "scalar"):
+        raise ValueError(f"unknown backend {backend!r}; use 'batched' or 'scalar'")
+    kwargs = env_kwargs or {}
+    if backend == "batched" and env_cls is None:
+        if max_batch_replicas < 1:
+            raise ValueError("max_batch_replicas must be >= 1")
+        chunks = [
+            min(max_batch_replicas, runs - start)
+            for start in range(0, runs, max_batch_replicas)
+        ]
+        rngs = spawn_generators(seed, len(chunks))
+        drops = np.empty(runs)
+        cursor = 0
+        for chunk, rng in zip(chunks, rngs):
+            env = BatchedFiniteSystemEnv(
+                config, num_replicas=chunk, seed=rng, **kwargs
+            )
+            result = run_episodes_batched(
+                env, policy, num_epochs=num_epochs, seed=rng
+            )
+            drops[cursor : cursor + chunk] = result.total_drops_per_queue
+            cursor += chunk
+    else:
+        scalar_cls = env_cls if env_cls is not None else FiniteSystemEnv
+        rngs = spawn_generators(seed, runs)
+        drops = np.empty(runs)
+        for i, rng in enumerate(rngs):
+            env = scalar_cls(config, seed=rng, **kwargs)
+            result = run_episode(env, policy, num_epochs=num_epochs, seed=rng)
+            drops[i] = result.total_drops_per_queue
     return MonteCarloResult(
         policy_name=policy.name,
         config=config,

@@ -164,6 +164,24 @@ class MeanFieldEnv:
     # ------------------------------------------------------------------
     # Dynamics
     # ------------------------------------------------------------------
+    def clone(self, seed: int | np.random.Generator | None = None) -> "MeanFieldEnv":
+        """Fresh environment with the same configuration (used to build
+        lock-step ensembles for the vectorized rollout collector)."""
+        env = MeanFieldEnv(
+            self.config,
+            horizon=self.horizon,
+            propagator="exact",
+            # replica(): stateful processes (ScriptedRate's replay cursor)
+            # must not be shared across lock-step clones.
+            arrival_process=self.arrivals.replica(),
+            seed=seed,
+        )
+        # Propagators are stateless; share ours instead of re-tabulating
+        # (a TabulatedPropagator rebuild is ~100ms of matrix exponentials).
+        env._propagator = self._propagator
+        env.propagator_kind = self.propagator_kind
+        return env
+
     def reset(self, seed: int | np.random.Generator | None = None) -> np.ndarray:
         """Start a fresh episode: ``ν_0 = δ_{z0}``, ``λ_0 ~ Unif``."""
         if seed is not None:

@@ -32,6 +32,33 @@ class UpperLevelPolicy(abc.ABC):
         """Return the decision rule for state distribution ``nu`` and
         arrival mode ``lam_mode``."""
 
+    def decision_rules_batch(
+        self,
+        nus: np.ndarray,
+        lam_modes: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> list[DecisionRule]:
+        """Rules for a batch of replica states (``nus`` is ``(E, S)``,
+        ``lam_modes`` is ``(E,)``).
+
+        The default queries :meth:`decision_rule` per replica; policies
+        with a batchable forward pass (e.g.
+        :class:`repro.policies.learned.NeuralPolicy`) override this to
+        answer all replicas at once — the fast path used by the batched
+        environments and the vectorized rollout collector.
+        """
+        nus = np.asarray(nus)
+        lam_modes = np.asarray(lam_modes)
+        if nus.ndim != 2 or lam_modes.shape != (nus.shape[0],):
+            raise ValueError(
+                "nus must be (E, S) with one lam_mode per replica, got "
+                f"{nus.shape} and {lam_modes.shape}"
+            )
+        return [
+            self.decision_rule(nus[i], int(lam_modes[i]), rng)
+            for i in range(nus.shape[0])
+        ]
+
     @property
     def name(self) -> str:
         """Short identifier used in experiment tables."""

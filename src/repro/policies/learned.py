@@ -92,6 +92,31 @@ class NeuralPolicy(UpperLevelPolicy):
             raw = mu[0] + np.exp(log_std[0]) * rng.standard_normal(mu.shape[1])
         return DecisionRule.from_raw(raw, self.num_states, self.d)
 
+    def decision_rules_batch(
+        self,
+        nus: np.ndarray,
+        lam_modes: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> list[DecisionRule]:
+        """One network forward pass for all ``E`` replica states."""
+        nus = np.asarray(nus, dtype=np.float64)
+        lam_modes = np.asarray(lam_modes)
+        if nus.ndim != 2 or nus.shape[1] != self.num_states:
+            raise ValueError(f"nus must have shape (E, {self.num_states})")
+        if lam_modes.shape != (nus.shape[0],):
+            raise ValueError("need one lam_mode per replica")
+        one_hot = np.zeros((nus.shape[0], self.num_modes))
+        one_hot[np.arange(nus.shape[0]), lam_modes] = 1.0
+        obs = np.concatenate([nus, one_hot], axis=1)
+        mu, log_std, _ = self.network.forward(obs)
+        if self.deterministic or rng is None:
+            raw = mu
+        else:
+            raw = mu + np.exp(log_std) * rng.standard_normal(mu.shape)
+        return [
+            DecisionRule.from_raw(row, self.num_states, self.d) for row in raw
+        ]
+
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------

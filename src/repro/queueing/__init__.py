@@ -7,21 +7,36 @@ heterogeneous-server extension.
 """
 
 from repro.queueing.arrivals import MarkovModulatedRate
-from repro.queueing.queue_ctmc import simulate_queues_epoch
+from repro.queueing.queue_ctmc import (
+    simulate_queues_epoch,
+    simulate_queues_epoch_batched,
+)
 from repro.queueing.clients import (
     expected_choice_counts,
     sample_client_choices,
+    sample_client_choices_batched,
 )
 from repro.queueing.env import FiniteSystemEnv, InfiniteClientEnv, run_episode
+from repro.queueing.batched_env import (
+    BatchedEpisodeResult,
+    BatchedFiniteSystemEnv,
+    BatchedInfiniteClientEnv,
+    run_episodes_batched,
+)
 from repro.queueing.events import simulate_epoch_event_driven
 
 __all__ = [
     "MarkovModulatedRate",
     "simulate_queues_epoch",
+    "simulate_queues_epoch_batched",
     "sample_client_choices",
+    "sample_client_choices_batched",
     "expected_choice_counts",
     "FiniteSystemEnv",
     "InfiniteClientEnv",
     "run_episode",
-    "simulate_epoch_event_driven",
+    "BatchedFiniteSystemEnv",
+    "BatchedInfiniteClientEnv",
+    "BatchedEpisodeResult",
+    "run_episodes_batched",
 ]

@@ -105,6 +105,40 @@ class MarkovModulatedRate:
         rng = as_generator(rng)
         return int(rng.choice(self.num_modes, p=self.transition_matrix[mode]))
 
+    # -- batched interface (replica-vectorized environments) -----------
+    def sample_initial_modes_batch(self, count: int, rng=None) -> np.ndarray:
+        """Independent initial modes for ``count`` replicas (``(E,)``).
+
+        One uniform draw per replica against the initial-distribution
+        CDF — the batched environments use this instead of ``count``
+        :meth:`sample_initial_mode` calls.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        rng = as_generator(rng)
+        cum = np.cumsum(self.initial_distribution)
+        cum[-1] = 1.0
+        return (rng.random(count)[:, None] > cum[None, :]).sum(axis=1)
+
+    def step_modes_batch(self, modes: np.ndarray, rng=None) -> np.ndarray:
+        """Advance every replica's mode chain independently (``(E,)``)."""
+        modes = np.asarray(modes)
+        if modes.min(initial=0) < 0 or modes.max(initial=0) >= self.num_modes:
+            raise ValueError(f"modes out of range [0, {self.num_modes})")
+        rng = as_generator(rng)
+        cum = np.cumsum(self.transition_matrix, axis=1)
+        cum[:, -1] = 1.0
+        return (rng.random(modes.size)[:, None] > cum[modes]).sum(axis=1)
+
+    def replica(self) -> "MarkovModulatedRate":
+        """Arrival process for an independent environment clone.
+
+        The base chain is memoryless, so clones can safely share one
+        instance; stateful subclasses (e.g. :class:`ScriptedRate`'s
+        replay cursor) override this to return a fresh copy.
+        """
+        return self
+
     def stationary_distribution(self) -> np.ndarray:
         return mmpp_stationary_distribution(self.transition_matrix)
 
@@ -171,6 +205,24 @@ class ScriptedRate(MarkovModulatedRate):
     def step_mode(self, mode: int, rng=None) -> int:
         self._cursor = min(self._cursor + 1, self._sequence.size - 1)
         return int(self._sequence[self._cursor])
+
+    # A scripted chain replays ONE trajectory (Theorem 1 conditions on
+    # the arrival sequence), so every replica of a batched environment
+    # sees the same mode and the cursor advances once per epoch.
+    def sample_initial_modes_batch(self, count: int, rng=None) -> np.ndarray:
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        return np.full(count, self.sample_initial_mode(rng), dtype=np.intp)
+
+    def step_modes_batch(self, modes: np.ndarray, rng=None) -> np.ndarray:
+        modes = np.asarray(modes)
+        return np.full(
+            modes.size, self.step_mode(int(modes[0]), rng), dtype=np.intp
+        )
+
+    def replica(self) -> "ScriptedRate":
+        """Fresh replay of the same trajectory (own cursor)."""
+        return ScriptedRate(self.levels, self._sequence)
 
     @property
     def mode_sequence(self) -> np.ndarray:

@@ -1,0 +1,325 @@
+"""Batched finite-system environments: ``E`` replicas in lock-step.
+
+The Monte-Carlo procedure of Section 4 (and every Figure 4-6 sweep)
+repeats the *same* Algorithm 1 episode over ``n`` independent replicas
+of the ``N``-client ``M``-queue system. Stepping those replicas one at a
+time leaves NumPy dispatch overhead as the dominant cost for the paper's
+``M ≤ 1000``-queue systems, so this module runs all replicas through the
+same array operations: queue states are shaped ``(E, M)``, every replica
+carries its own arrival-mode chain state, and one call into the batched
+client/queue kernels (:mod:`repro.queueing.clients`,
+:mod:`repro.queueing.queue_ctmc`) advances the whole ensemble by one
+decision epoch.
+
+:class:`BatchedFiniteSystemEnv` is the ``E``-replica ``N``-client system
+of Section 2.1; :class:`BatchedInfiniteClientEnv` the ``N → ∞`` system
+of Section 2.2. Both are driven by an
+:class:`repro.policies.base.UpperLevelPolicy` exactly as Figure 2
+prescribes, queried once per replica per epoch (policies that implement
+``decision_rules_batch`` answer all replicas with one forward pass;
+stationary policies are queried once in total). The scalar environments
+in :mod:`repro.queueing.env` are thin ``E = 1`` wrappers around these
+classes and consume the generator stream identically, so a scalar and an
+``E = 1`` batched simulation with a shared seed are bit-identical.
+
+See ``docs/scaling.md`` for when to prefer the batched path and the
+expected speedups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.meanfield.decision_rule import DecisionRule
+from repro.queueing.arrivals import MarkovModulatedRate
+from repro.queueing.clients import (
+    client_choice_counts_batched,
+    infinite_client_rates_batched,
+    per_packet_rate_fractions_batched,
+)
+from repro.queueing.queue_ctmc import simulate_queues_epoch_batched
+from repro.utils.rng import as_generator
+
+if TYPE_CHECKING:  # import cycle: policies build on top of the queue substrate
+    from repro.policies.base import UpperLevelPolicy
+
+__all__ = [
+    "BatchedFiniteSystemEnv",
+    "BatchedInfiniteClientEnv",
+    "BatchedEpisodeResult",
+    "run_episodes_batched",
+]
+
+RulesLike = "DecisionRule | Sequence[DecisionRule]"
+
+
+class _BatchedQueueSystemBase:
+    """State/bookkeeping shared by the batched finite/infinite systems."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        num_replicas: int,
+        arrival_process: MarkovModulatedRate | None = None,
+        service_rates: np.ndarray | None = None,
+        per_packet_randomization: bool = False,
+        seed=None,
+    ) -> None:
+        if num_replicas < 1:
+            raise ValueError(f"num_replicas must be >= 1, got {num_replicas}")
+        self.config = config
+        self.num_replicas = int(num_replicas)
+        self.per_packet_randomization = per_packet_randomization
+        self.arrivals = (
+            arrival_process
+            if arrival_process is not None
+            else MarkovModulatedRate.from_config(config)
+        )
+        if service_rates is None:
+            self.service_rates = np.full(config.num_queues, config.service_rate)
+        else:
+            self.service_rates = np.asarray(service_rates, dtype=np.float64)
+            if self.service_rates.shape != (config.num_queues,):
+                raise ValueError(
+                    f"service_rates must have shape ({config.num_queues},)"
+                )
+            if self.service_rates.min() <= 0:
+                raise ValueError("service rates must be > 0")
+        self._rng = as_generator(seed)
+        self._states: np.ndarray | None = None
+        self._lam_modes = np.zeros(self.num_replicas, dtype=np.intp)
+        self._t = 0
+
+    # -- state access ---------------------------------------------------
+    @property
+    def queue_states(self) -> np.ndarray:
+        """Current queue fillings, shape ``(E, M)``."""
+        if self._states is None:
+            raise RuntimeError("environment must be reset before use")
+        return self._states.copy()
+
+    @property
+    def lam_modes(self) -> np.ndarray:
+        """Per-replica arrival-mode indices, shape ``(E,)``."""
+        return self._lam_modes.copy()
+
+    @property
+    def current_rates(self) -> np.ndarray:
+        """Per-replica arrival intensities ``λ_t``, shape ``(E,)``."""
+        return self.arrivals.levels[self._lam_modes]
+
+    @property
+    def t(self) -> int:
+        return self._t
+
+    def empirical_distributions(self) -> np.ndarray:
+        """``H_t`` per replica (Eq. 2), shape ``(E, S)``."""
+        if self._states is None:
+            raise RuntimeError("environment must be reset before use")
+        s = self.config.num_queue_states
+        offsets = np.arange(self.num_replicas, dtype=np.int64)[:, None] * s
+        counts = np.bincount(
+            (self._states + offsets).ravel(), minlength=self.num_replicas * s
+        ).reshape(self.num_replicas, s)
+        return counts.astype(np.float64) / self.config.num_queues
+
+    def reset(self, seed=None) -> np.ndarray:
+        """Fresh queue states and per-replica arrival modes; returns ``H_0``."""
+        if seed is not None:
+            self._rng = as_generator(seed)
+        self._states = np.full(
+            (self.num_replicas, self.config.num_queues),
+            self.config.initial_state,
+            dtype=np.int64,
+        )
+        self._lam_modes = self.arrivals.sample_initial_modes_batch(
+            self.num_replicas, self._rng
+        )
+        self._t = 0
+        return self.empirical_distributions()
+
+    # -- template step ----------------------------------------------------
+    def _frozen_rates(self, rules: RulesLike) -> np.ndarray:
+        raise NotImplementedError
+
+    def _check_rules(self, rules: RulesLike) -> None:
+        first = rules if isinstance(rules, DecisionRule) else rules[0]
+        if (
+            first.num_states != self.config.num_queue_states
+            or first.d != self.config.d
+        ):
+            raise ValueError(
+                f"rule geometry (S={first.num_states}, d={first.d}) does not "
+                f"match config (S={self.config.num_queue_states}, "
+                f"d={self.config.d})"
+            )
+
+    def step(self, rules: RulesLike) -> tuple[np.ndarray, np.ndarray, dict]:
+        """Apply one decision rule per replica for one epoch.
+
+        ``rules`` is a single :class:`DecisionRule` (shared by all
+        replicas) or a sequence of ``E`` per-replica rules. Returns
+        ``(H_next, rewards, info)`` where ``H_next`` is ``(E, S)``,
+        ``rewards = -drop_penalty * D_t`` is ``(E,)`` and the info arrays
+        are per replica.
+        """
+        if self._states is None:
+            raise RuntimeError("environment must be reset before use")
+        self._check_rules(rules)
+        rates = self._frozen_rates(rules)
+        new_states, drops = simulate_queues_epoch_batched(
+            self._states,
+            rates,
+            self.service_rates,
+            self.config.delta_t,
+            self.config.buffer_size,
+            self._rng,
+        )
+        total_drops = drops.sum(axis=1)
+        per_queue_drops = total_drops / self.config.num_queues
+        self._states = new_states
+        self._lam_modes = self.arrivals.step_modes_batch(
+            self._lam_modes, self._rng
+        )
+        self._t += 1
+        info = {
+            "drops_total": total_drops,
+            "drops_per_queue": per_queue_drops,
+            "arrival_rates": rates,
+            "t": self._t,
+        }
+        rewards = -self.config.drop_penalty * per_queue_drops
+        return self.empirical_distributions(), rewards, info
+
+    def step_with_policy(
+        self, policy: "UpperLevelPolicy"
+    ) -> tuple[np.ndarray, np.ndarray, dict]:
+        """Algorithm 1 lines 8-19 for every replica: compute ``H_t``,
+        query the policy per replica, apply the resulting rules.
+
+        Stationary policies are queried once; others go through
+        ``policy.decision_rules_batch`` (one batched forward pass for
+        neural policies, a per-replica loop otherwise).
+        """
+        hists = self.empirical_distributions()
+        if policy.is_stationary():
+            rules: RulesLike = policy.decision_rule(
+                hists[0], int(self._lam_modes[0]), self._rng
+            )
+        else:
+            rules = policy.decision_rules_batch(
+                hists, self._lam_modes, self._rng
+            )
+        return self.step(rules)
+
+
+class BatchedFiniteSystemEnv(_BatchedQueueSystemBase):
+    """``E`` replicas of the ``N``-client, ``M``-queue system.
+
+    Every epoch, each replica's ``N`` clients sample ``d`` queues, commit
+    a choice via that replica's decision rule, and queue ``j`` receives
+    Poisson arrivals at the frozen rate ``λ_j = M λ_t · count_j / N``
+    (Eq. 5) for ``Δt`` time units; all replicas advance in one batched
+    kernel call.
+    """
+
+    def _frozen_rates(self, rules: RulesLike) -> np.ndarray:
+        lam = self.current_rates[:, None]
+        if self.per_packet_randomization:
+            # Paper remark below Eq. (4): in the experiments every packet
+            # re-samples its slot, so the frozen rate thins over the
+            # clients' full routing distributions instead of commitments.
+            fractions = per_packet_rate_fractions_batched(
+                self._states, self.config.num_clients, rules, self._rng
+            )
+            return self.config.num_queues * lam * fractions
+        counts = client_choice_counts_batched(
+            self._states, self.config.num_clients, rules, self._rng
+        )
+        return (
+            self.config.num_queues
+            * lam
+            * counts.astype(np.float64)
+            / self.config.num_clients
+        )
+
+
+class BatchedInfiniteClientEnv(_BatchedQueueSystemBase):
+    """``E`` replicas of the ``N → ∞`` system of Section 2.2.
+
+    Client randomness averages out (conditional LLN): queue ``j`` of
+    replica ``e`` receives the deterministic frozen rate
+    ``λ_j = λ_t(H^e_t, z_j)`` (Eq. 14-15). Queue-side randomness remains
+    and is simulated batched.
+    """
+
+    def _frozen_rates(self, rules: RulesLike) -> np.ndarray:
+        return infinite_client_rates_batched(
+            self._states, rules, self.current_rates
+        )
+
+
+@dataclass
+class BatchedEpisodeResult:
+    """Summary of ``E`` lock-step finite-system evaluation episodes."""
+
+    total_drops_per_queue: np.ndarray  # (E,)
+    per_epoch_drops: np.ndarray  # (E, T)
+    num_epochs: int
+    empirical_distributions: np.ndarray | None = None  # (E, T+1, S)
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def num_replicas(self) -> int:
+        return int(self.total_drops_per_queue.size)
+
+    @property
+    def mean_total_drops(self) -> float:
+        return float(self.total_drops_per_queue.mean())
+
+
+def run_episodes_batched(
+    env: _BatchedQueueSystemBase,
+    policy: "UpperLevelPolicy",
+    num_epochs: int | None = None,
+    seed=None,
+    record_distributions: bool = False,
+) -> BatchedEpisodeResult:
+    """Run Algorithm 1 for ``num_epochs`` epochs in all replicas at once.
+
+    The batched counterpart of :func:`repro.queueing.env.run_episode`:
+    returns the cumulative per-queue packet drops of every replica (the
+    quantity on the y-axes of Figures 4-6) and the per-epoch series.
+    """
+    steps = (
+        int(num_epochs)
+        if num_epochs is not None
+        else env.config.resolved_eval_length()
+    )
+    if steps < 1:
+        raise ValueError("num_epochs must be >= 1")
+    env.reset(seed)
+    e = env.num_replicas
+    drops = np.empty((e, steps))
+    dists = (
+        np.empty((e, steps + 1, env.config.num_queue_states))
+        if record_distributions
+        else None
+    )
+    if dists is not None:
+        dists[:, 0] = env.empirical_distributions()
+    for t in range(steps):
+        _, _, info = env.step_with_policy(policy)
+        drops[:, t] = info["drops_per_queue"]
+        if dists is not None:
+            dists[:, t + 1] = env.empirical_distributions()
+    return BatchedEpisodeResult(
+        total_drops_per_queue=drops.sum(axis=1),
+        per_epoch_drops=drops,
+        num_epochs=steps,
+        empirical_distributions=dists,
+    )

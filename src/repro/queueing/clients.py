@@ -9,10 +9,16 @@ for the epoch. The per-queue frozen arrival rates then follow Eq. (5):
 
 Everything is vectorized over clients; for the paper's largest setting
 (``N = 10^6``, ``d = 2``) a full epoch of client decisions is three
-array operations.
+array operations. The ``*_batched`` variants additionally vectorize over
+``E`` independent system replicas (queue states shaped ``(E, M)``, one
+decision rule per replica) so that a whole Monte-Carlo sweep shares the
+same handful of array operations; the scalar functions are the ``E = 1``
+views and consume the generator stream identically.
 """
 
 from __future__ import annotations
+
+from typing import Sequence
 
 import numpy as np
 
@@ -26,7 +32,70 @@ __all__ = [
     "per_packet_rate_fractions",
     "expected_choice_counts",
     "infinite_client_rates",
+    "stack_rules",
+    "sample_client_choices_batched",
+    "client_choice_counts_batched",
+    "per_packet_rate_fractions_batched",
+    "infinite_client_rates_batched",
 ]
+
+
+def stack_rules(
+    rules: "DecisionRule | Sequence[DecisionRule]", num_replicas: int
+) -> np.ndarray:
+    """Stack per-replica decision rules into one ``(E, S, ..., S, d)`` table.
+
+    ``rules`` is either a single rule (broadcast to every replica — the
+    stationary-policy fast path, a view with no copy) or a sequence of
+    exactly ``num_replicas`` rules sharing ``(S, d)`` geometry.
+    """
+    if isinstance(rules, DecisionRule):
+        return np.broadcast_to(
+            rules.probs, (num_replicas, *rules.probs.shape)
+        )
+    rules = list(rules)
+    if len(rules) != num_replicas:
+        raise ValueError(
+            f"need {num_replicas} rules (one per replica), got {len(rules)}"
+        )
+    shape = rules[0].probs.shape
+    if any(r.probs.shape != shape for r in rules):
+        raise ValueError("all per-replica rules must share (S, d) geometry")
+    return np.stack([r.probs for r in rules])
+
+
+def _batched_rule_rows(probs: np.ndarray, zbar: np.ndarray) -> np.ndarray:
+    """Rows ``h_e(· | z̄)`` for per-replica sampled states.
+
+    ``probs`` is a stacked rule table ``(E, S, ..., S, d)`` and ``zbar``
+    an integer array ``(E, N, d)``; returns ``(E, N, d)``. The joint
+    sampled state is flattened to one index per client so the lookup is
+    a single flat :func:`numpy.take` (much faster than a ``d + 1``-axis
+    fancy-indexing pass on large ``E·N``).
+    """
+    e = probs.shape[0]
+    s = probs.shape[1]
+    d = probs.ndim - 2
+    flat = zbar[..., 0]
+    for k in range(1, d):
+        flat = flat * s + zbar[..., k]
+    if probs.strides[0] == 0:
+        # Stationary fast path: one shared table, no replica offsets.
+        return probs[0].reshape(s**d, d).take(flat, axis=0)
+    flat = flat + (np.arange(e) * s**d)[:, None]
+    table = np.ascontiguousarray(probs).reshape(e * s**d, d)
+    return table.take(flat, axis=0)
+
+
+def _batched_sample_slots(
+    rows: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample ``u ~ h(· | z̄)`` from per-client probability rows ``(E, N, d)``."""
+    cdf = np.cumsum(rows, axis=-1)
+    # Guard against round-off: the final cumulative value is exactly 1.
+    cdf[..., -1] = 1.0
+    uniforms = rng.random(rows.shape[:-1])
+    return (uniforms[..., None] > cdf).sum(axis=-1)
 
 
 def sample_client_choices(
@@ -49,15 +118,42 @@ def sample_client_choices(
     committed:
         ``(N,)`` committed queue index per client (``x[u]``).
     """
+    queue_states = np.asarray(queue_states)
+    sampled, slots, committed = sample_client_choices_batched(
+        queue_states[None, :], num_clients, rule, rng
+    )
+    return sampled[0], slots[0], committed[0]
+
+
+def sample_client_choices_batched(
+    queue_states: np.ndarray,
+    num_clients: int,
+    rules: "DecisionRule | Sequence[DecisionRule]",
+    rng=None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sample every client's selection and choice in ``E`` replicas at once.
+
+    ``queue_states`` has shape ``(E, M)``; ``rules`` is one rule shared by
+    all replicas or a sequence of ``E`` per-replica rules. Returns
+    ``(sampled, slots, committed)`` shaped ``(E, N, d)`` / ``(E, N)`` /
+    ``(E, N)`` — the per-replica analogues of
+    :func:`sample_client_choices`.
+    """
     rng = as_generator(rng)
     queue_states = np.asarray(queue_states)
-    m = queue_states.size
+    if queue_states.ndim != 2:
+        raise ValueError("queue_states must have shape (replicas, queues)")
+    e, m = queue_states.shape
     if num_clients < 1:
         raise ValueError("num_clients must be >= 1")
-    sampled = rng.integers(0, m, size=(num_clients, rule.d))
-    zbar = queue_states[sampled]
-    slots = rule.sample_actions(zbar, rng)
-    committed = sampled[np.arange(num_clients), slots]
+    probs = stack_rules(rules, e)
+    d = probs.ndim - 2
+    sampled = rng.integers(0, m, size=(e, num_clients, d))
+    offsets = (np.arange(e, dtype=sampled.dtype) * m)[:, None, None]
+    zbar = queue_states.take((sampled + offsets).ravel()).reshape(sampled.shape)
+    rows = _batched_rule_rows(probs, zbar)
+    slots = _batched_sample_slots(rows, rng)
+    committed = np.take_along_axis(sampled, slots[..., None], axis=-1)[..., 0]
     return sampled, slots, committed
 
 
@@ -69,8 +165,27 @@ def client_choice_counts(
 ) -> np.ndarray:
     """Number of clients committed to each queue this epoch (``(M,)``)."""
     queue_states = np.asarray(queue_states)
-    _, _, committed = sample_client_choices(queue_states, num_clients, rule, rng)
-    return np.bincount(committed, minlength=queue_states.size)
+    return client_choice_counts_batched(
+        queue_states[None, :], num_clients, rule, rng
+    )[0]
+
+
+def client_choice_counts_batched(
+    queue_states: np.ndarray,
+    num_clients: int,
+    rules: "DecisionRule | Sequence[DecisionRule]",
+    rng=None,
+) -> np.ndarray:
+    """Per-replica committed-client counts, shape ``(E, M)``."""
+    queue_states = np.asarray(queue_states)
+    _, _, committed = sample_client_choices_batched(
+        queue_states, num_clients, rules, rng
+    )
+    e, m = queue_states.shape
+    offsets = np.arange(e, dtype=committed.dtype)[:, None] * m
+    return np.bincount(
+        (committed + offsets).ravel(), minlength=e * m
+    ).reshape(e, m)
 
 
 def per_packet_rate_fractions(
@@ -91,17 +206,41 @@ def per_packet_rate_fractions(
     counts this removes the per-client multinomial noise, which matters
     when ``N`` is *not* much larger than ``M`` (paper Figure 6).
     """
+    queue_states = np.asarray(queue_states)
+    return per_packet_rate_fractions_batched(
+        queue_states[None, :], num_clients, rule, rng
+    )[0]
+
+
+def per_packet_rate_fractions_batched(
+    queue_states: np.ndarray,
+    num_clients: int,
+    rules: "DecisionRule | Sequence[DecisionRule]",
+    rng=None,
+) -> np.ndarray:
+    """Per-replica arrival-rate fractions under per-packet randomization.
+
+    The ``(E, M)`` analogue of :func:`per_packet_rate_fractions`: each
+    replica samples its own ``(N, d)`` queue selections and accumulates
+    its clients' routing probabilities; each row sums to 1.
+    """
     rng = as_generator(rng)
     queue_states = np.asarray(queue_states)
-    m = queue_states.size
+    if queue_states.ndim != 2:
+        raise ValueError("queue_states must have shape (replicas, queues)")
+    e, m = queue_states.shape
     if num_clients < 1:
         raise ValueError("num_clients must be >= 1")
-    sampled = rng.integers(0, m, size=(num_clients, rule.d))
-    zbar = queue_states[sampled]
-    probs = rule.action_probs(zbar)
-    fractions = np.zeros(m)
-    for k in range(rule.d):
-        np.add.at(fractions, sampled[:, k], probs[:, k])
+    probs = stack_rules(rules, e)
+    d = probs.ndim - 2
+    sampled = rng.integers(0, m, size=(e, num_clients, d))
+    offsets = (np.arange(e, dtype=sampled.dtype) * m)[:, None, None]
+    flat = (sampled + offsets).ravel()
+    zbar = queue_states.take(flat).reshape(sampled.shape)
+    rows = _batched_rule_rows(probs, zbar)
+    fractions = np.bincount(
+        flat, weights=rows.ravel(), minlength=e * m
+    ).reshape(e, m)
     return fractions / num_clients
 
 
@@ -143,3 +282,37 @@ def infinite_client_rates(
     hist = np.bincount(queue_states, minlength=rule.num_states).astype(float) / m
     per_state = per_state_arrival_rates(hist, rule, lam)
     return per_state[queue_states]
+
+
+def infinite_client_rates_batched(
+    queue_states: np.ndarray,
+    rules: "DecisionRule | Sequence[DecisionRule]",
+    lams: np.ndarray,
+) -> np.ndarray:
+    """Frozen ``N → ∞`` arrival rates for ``E`` replicas, shape ``(E, M)``.
+
+    ``lams`` holds each replica's current arrival intensity. The
+    per-state rate function (a handful of ``S``-sized tensor
+    contractions) is evaluated per replica; the per-queue gather is
+    vectorized.
+    """
+    queue_states = np.asarray(queue_states)
+    if queue_states.ndim != 2:
+        raise ValueError("queue_states must have shape (replicas, queues)")
+    e, m = queue_states.shape
+    lams = np.asarray(lams, dtype=np.float64)
+    if lams.shape != (e,):
+        raise ValueError(f"lams must have shape ({e},)")
+    rule_list = [rules] * e if isinstance(rules, DecisionRule) else list(rules)
+    if len(rule_list) != e:
+        raise ValueError(f"need {e} rules (one per replica), got {len(rule_list)}")
+    num_states = rule_list[0].num_states
+    offsets = np.arange(e, dtype=queue_states.dtype)[:, None] * num_states
+    hists = np.bincount(
+        (queue_states + offsets).ravel(), minlength=e * num_states
+    ).reshape(e, num_states) / m
+    rates = np.empty((e, m))
+    for i, (rule, lam) in enumerate(zip(rule_list, lams)):
+        per_state = per_state_arrival_rates(hists[i], rule, float(lam))
+        rates[i] = per_state[queue_states[i]]
+    return rates

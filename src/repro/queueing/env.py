@@ -8,6 +8,12 @@ replaced by their conditional expectation). Both are driven by any
 prescribes: the policy sees the *empirical* queue-state distribution
 ``H_t`` and the arrival mode, emits a decision rule, and the rule is
 applied per client.
+
+Since the batched-backend refactor, both classes are thin ``E = 1``
+views over the replica-vectorized environments of
+:mod:`repro.queueing.batched_env` — same simulation code, same generator
+stream, scalar shapes. Sweeps that run many independent replicas should
+use the batched classes directly (see ``docs/scaling.md``).
 """
 
 from __future__ import annotations
@@ -20,22 +26,29 @@ import numpy as np
 from repro.config import SystemConfig
 from repro.meanfield.decision_rule import DecisionRule
 from repro.queueing.arrivals import MarkovModulatedRate
+from repro.queueing.batched_env import (
+    BatchedFiniteSystemEnv,
+    BatchedInfiniteClientEnv,
+    _BatchedQueueSystemBase,
+)
 
 if TYPE_CHECKING:  # import cycle: policies build on top of the queue substrate
     from repro.policies.base import UpperLevelPolicy
-from repro.queueing.clients import (
-    client_choice_counts,
-    infinite_client_rates,
-    per_packet_rate_fractions,
-)
-from repro.queueing.queue_ctmc import simulate_queues_epoch
-from repro.utils.rng import as_generator
 
 __all__ = ["FiniteSystemEnv", "InfiniteClientEnv", "EpisodeResult", "run_episode"]
 
 
 class _QueueSystemBase:
-    """State/bookkeeping shared by the finite- and infinite-client systems."""
+    """Scalar (``E = 1``) view over a batched queue-system core.
+
+    All simulation lives in the batched core; this wrapper squeezes the
+    replica axis so existing single-system code keeps its ``(M,)`` /
+    scalar shapes. Because the ``E = 1`` batched kernels consume the
+    generator stream exactly like the historical scalar implementation,
+    seeded runs are bit-identical across the two APIs (tested).
+    """
+
+    _CORE_CLS: type[_BatchedQueueSystemBase]
 
     def __init__(
         self,
@@ -45,68 +58,61 @@ class _QueueSystemBase:
         per_packet_randomization: bool = False,
         seed=None,
     ) -> None:
-        self.config = config
-        self.per_packet_randomization = per_packet_randomization
-        self.arrivals = (
-            arrival_process
-            if arrival_process is not None
-            else MarkovModulatedRate.from_config(config)
+        self._core = self._CORE_CLS(
+            config,
+            num_replicas=1,
+            arrival_process=arrival_process,
+            service_rates=service_rates,
+            per_packet_randomization=per_packet_randomization,
+            seed=seed,
         )
-        if service_rates is None:
-            self.service_rates = np.full(config.num_queues, config.service_rate)
-        else:
-            self.service_rates = np.asarray(service_rates, dtype=np.float64)
-            if self.service_rates.shape != (config.num_queues,):
-                raise ValueError(
-                    f"service_rates must have shape ({config.num_queues},)"
-                )
-            if self.service_rates.min() <= 0:
-                raise ValueError("service rates must be > 0")
-        self._rng = as_generator(seed)
-        self._states: np.ndarray | None = None
-        self._lam_mode = 0
-        self._t = 0
+
+    # -- configuration access -------------------------------------------
+    @property
+    def config(self) -> SystemConfig:
+        return self._core.config
+
+    @property
+    def arrivals(self) -> MarkovModulatedRate:
+        return self._core.arrivals
+
+    @property
+    def service_rates(self) -> np.ndarray:
+        return self._core.service_rates
+
+    @property
+    def per_packet_randomization(self) -> bool:
+        return self._core.per_packet_randomization
+
+    @property
+    def batched_core(self) -> _BatchedQueueSystemBase:
+        """The underlying ``E = 1`` batched environment."""
+        return self._core
 
     # -- state access ---------------------------------------------------
     @property
     def queue_states(self) -> np.ndarray:
-        if self._states is None:
-            raise RuntimeError("environment must be reset before use")
-        return self._states.copy()
+        return self._core.queue_states[0]
 
     @property
     def lam_mode(self) -> int:
-        return self._lam_mode
+        return int(self._core.lam_modes[0])
 
     @property
     def current_rate(self) -> float:
-        return self.arrivals.rate(self._lam_mode)
+        return float(self._core.current_rates[0])
 
     @property
     def t(self) -> int:
-        return self._t
+        return self._core.t
 
     def empirical_distribution(self) -> np.ndarray:
         """``H_t`` — fraction of queues in each state (Eq. 2)."""
-        if self._states is None:
-            raise RuntimeError("environment must be reset before use")
-        counts = np.bincount(self._states, minlength=self.config.num_queue_states)
-        return counts.astype(np.float64) / self.config.num_queues
+        return self._core.empirical_distributions()[0]
 
     def reset(self, seed=None) -> np.ndarray:
         """Sample fresh queue states and arrival mode; returns ``H_0``."""
-        if seed is not None:
-            self._rng = as_generator(seed)
-        self._states = np.full(
-            self.config.num_queues, self.config.initial_state, dtype=np.int64
-        )
-        self._lam_mode = self.arrivals.sample_initial_mode(self._rng)
-        self._t = 0
-        return self.empirical_distribution()
-
-    # -- template step ----------------------------------------------------
-    def _frozen_rates(self, rule: DecisionRule) -> np.ndarray:
-        raise NotImplementedError
+        return self._core.reset(seed)[0]
 
     def step(self, rule: DecisionRule) -> tuple[np.ndarray, float, dict]:
         """Apply ``rule`` for one epoch; returns ``(H_next, reward, info)``.
@@ -114,48 +120,25 @@ class _QueueSystemBase:
         ``reward = -drop_penalty * D_t`` with ``D_t`` the *per-queue
         average* number of dropped packets during the epoch (Eq. 6).
         """
-        if self._states is None:
-            raise RuntimeError("environment must be reset before use")
-        if (
-            rule.num_states != self.config.num_queue_states
-            or rule.d != self.config.d
-        ):
-            raise ValueError(
-                f"rule geometry (S={rule.num_states}, d={rule.d}) does not "
-                f"match config (S={self.config.num_queue_states}, "
-                f"d={self.config.d})"
-            )
-        rates = self._frozen_rates(rule)
-        new_states, drops = simulate_queues_epoch(
-            self._states,
-            rates,
-            self.service_rates,
-            self.config.delta_t,
-            self.config.buffer_size,
-            self._rng,
-        )
-        total_drops = int(drops.sum())
-        per_queue_drops = total_drops / self.config.num_queues
-        self._states = new_states
-        self._lam_mode = self.arrivals.step_mode(self._lam_mode, self._rng)
-        self._t += 1
-        info = {
-            "drops_total": total_drops,
-            "drops_per_queue": per_queue_drops,
-            "arrival_rates": rates,
-            "t": self._t,
-        }
-        reward = -self.config.drop_penalty * per_queue_drops
-        return self.empirical_distribution(), reward, info
+        hists, rewards, info = self._core.step(rule)
+        return hists[0], float(rewards[0]), self._squeeze_info(info)
 
     def step_with_policy(
         self, policy: "UpperLevelPolicy"
     ) -> tuple[np.ndarray, float, dict]:
         """Algorithm 1 lines 8-19: compute ``H_t``, query the policy,
         apply the resulting rule."""
-        hist = self.empirical_distribution()
-        rule = policy.decision_rule(hist, self._lam_mode, self._rng)
-        return self.step(rule)
+        hists, rewards, info = self._core.step_with_policy(policy)
+        return hists[0], float(rewards[0]), self._squeeze_info(info)
+
+    @staticmethod
+    def _squeeze_info(info: dict) -> dict:
+        return {
+            "drops_total": int(info["drops_total"][0]),
+            "drops_per_queue": float(info["drops_per_queue"][0]),
+            "arrival_rates": info["arrival_rates"][0],
+            "t": info["t"],
+        }
 
 
 class FiniteSystemEnv(_QueueSystemBase):
@@ -167,24 +150,7 @@ class FiniteSystemEnv(_QueueSystemBase):
     time units.
     """
 
-    def _frozen_rates(self, rule: DecisionRule) -> np.ndarray:
-        if self.per_packet_randomization:
-            # Paper remark below Eq. (4): in the experiments every packet
-            # re-samples its slot, so the frozen rate thins over the
-            # clients' full routing distributions instead of commitments.
-            fractions = per_packet_rate_fractions(
-                self._states, self.config.num_clients, rule, self._rng
-            )
-            return self.config.num_queues * self.current_rate * fractions
-        counts = client_choice_counts(
-            self._states, self.config.num_clients, rule, self._rng
-        )
-        return (
-            self.config.num_queues
-            * self.current_rate
-            * counts.astype(np.float64)
-            / self.config.num_clients
-        )
+    _CORE_CLS = BatchedFiniteSystemEnv
 
 
 class InfiniteClientEnv(_QueueSystemBase):
@@ -195,8 +161,7 @@ class InfiniteClientEnv(_QueueSystemBase):
     (Eq. 14-15). Queue-side randomness remains.
     """
 
-    def _frozen_rates(self, rule: DecisionRule) -> np.ndarray:
-        return infinite_client_rates(self._states, rule, self.current_rate)
+    _CORE_CLS = BatchedInfiniteClientEnv
 
 
 @dataclass

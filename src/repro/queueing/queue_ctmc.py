@@ -8,11 +8,20 @@ rate ``α_j`` in every state (a departure at ``0`` is a no-op). The total
 event rate ``R_j = λ_j + α_j`` is therefore state-independent, so the
 number of events in ``[0, Δt]`` is ``Poisson(R_j Δt)`` and each event is
 independently an arrival with probability ``λ_j / R_j`` — the classic
-uniformization construction, which we exploit to simulate all ``M``
-queues in lock-step NumPy passes instead of one Gillespie loop per
-queue. The construction is *exact*, not an approximation; the test
-suite verifies the resulting transition law against the matrix
-exponential of the generator.
+uniformization construction, which we exploit to simulate all queues in
+lock-step NumPy passes instead of one Gillespie loop per queue. The
+construction is *exact*, not an approximation; the test suite verifies
+the resulting transition law against the matrix exponential of the
+generator.
+
+The lock-step pass generalizes for free from one ``M``-queue system to
+``E`` independent replicas (queue states shaped ``(E, M)``):
+:func:`simulate_queues_epoch_batched` advances all ``E·M`` queues with
+the same handful of array operations per event round, which is what the
+batched environments of :mod:`repro.queueing.batched_env` build on.
+:func:`simulate_queues_epoch` is the ``E = 1`` view of the same kernel
+and consumes the generator stream identically, so scalar and batched
+simulations with a shared seed are bit-identical.
 """
 
 from __future__ import annotations
@@ -21,7 +30,77 @@ import numpy as np
 
 from repro.utils.rng import as_generator
 
-__all__ = ["simulate_queues_epoch", "simulate_queue_trajectory"]
+__all__ = [
+    "simulate_queues_epoch",
+    "simulate_queues_epoch_batched",
+    "simulate_queue_trajectory",
+]
+
+
+def simulate_queues_epoch_batched(
+    states: np.ndarray,
+    arrival_rates: np.ndarray,
+    service_rates: np.ndarray | float,
+    delta_t: float,
+    buffer_size: int,
+    rng=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Advance ``E`` independent ``M``-queue replicas by one epoch.
+
+    Parameters
+    ----------
+    states:
+        Integer array ``(E, M)`` of current queue fillings in
+        ``{0, ..., buffer_size}``; row ``e`` is replica ``e``.
+    arrival_rates:
+        Per-queue frozen arrival rates ``λ_{e,j} >= 0``, shape ``(E, M)``.
+    service_rates:
+        Scalar, ``(M,)`` or ``(E, M)`` service rates ``α_j > 0``.
+    delta_t:
+        Epoch length ``Δt > 0``.
+
+    Returns
+    -------
+    ``(new_states, drops)`` — both ``(E, M)`` integer arrays;
+    ``drops[e, j]`` counts packets that arrived at queue ``j`` of replica
+    ``e`` while it was full.
+    """
+    rng = as_generator(rng)
+    states = np.asarray(states)
+    if states.ndim != 2:
+        raise ValueError("states must be a 2-D (replicas, queues) integer array")
+    if states.min(initial=0) < 0 or states.max(initial=0) > buffer_size:
+        raise ValueError(f"states must lie in [0, {buffer_size}]")
+    e, m = states.shape
+    arrival = np.asarray(arrival_rates, dtype=np.float64)
+    if arrival.shape != (e, m):
+        raise ValueError(f"arrival_rates must have shape ({e}, {m})")
+    if arrival.min(initial=0.0) < 0:
+        raise ValueError("arrival rates must be >= 0")
+    service = np.broadcast_to(
+        np.asarray(service_rates, dtype=np.float64), (e, m)
+    ).copy()
+    if service.min(initial=np.inf) <= 0:
+        raise ValueError("service rates must be > 0")
+    if delta_t <= 0:
+        raise ValueError(f"delta_t must be > 0, got {delta_t}")
+
+    total_rate = arrival + service
+    num_events = rng.poisson(total_rate * delta_t)
+    p_arrival = arrival / total_rate
+
+    z = states.astype(np.int64).copy()
+    drops = np.zeros((e, m), dtype=np.int64)
+    max_events = int(num_events.max(initial=0))
+    for k in range(max_events):
+        active = num_events > k
+        is_arrival = rng.random((e, m)) < p_arrival
+        arrivals = active & is_arrival
+        departures = active & ~is_arrival
+        drops += arrivals & (z >= buffer_size)
+        z += arrivals & (z < buffer_size)
+        z -= departures & (z > 0)
+    return z, drops
 
 
 def simulate_queues_epoch(
@@ -33,6 +112,11 @@ def simulate_queues_epoch(
     rng=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Advance every queue by one epoch of length ``delta_t``.
+
+    The single-replica (``E = 1``) view of
+    :func:`simulate_queues_epoch_batched`; both consume the generator
+    stream identically, so the two paths are interchangeable under a
+    shared seed.
 
     Parameters
     ----------
@@ -51,44 +135,21 @@ def simulate_queues_epoch(
     ``(new_states, drops)`` — both ``(M,)`` integer arrays; ``drops[j]``
     counts packets that arrived at queue ``j`` while it was full.
     """
-    rng = as_generator(rng)
     states = np.asarray(states)
     if states.ndim != 1:
         raise ValueError("states must be a 1-D integer array")
-    if states.min(initial=0) < 0 or states.max(initial=0) > buffer_size:
-        raise ValueError(f"states must lie in [0, {buffer_size}]")
-    m = states.size
     arrival = np.asarray(arrival_rates, dtype=np.float64)
-    if arrival.shape != (m,):
-        raise ValueError(f"arrival_rates must have shape ({m},)")
-    if arrival.min(initial=0.0) < 0:
-        raise ValueError("arrival rates must be >= 0")
-    service = np.broadcast_to(
-        np.asarray(service_rates, dtype=np.float64), (m,)
-    ).copy()
-    if service.min(initial=np.inf) <= 0:
-        raise ValueError("service rates must be > 0")
-    if delta_t <= 0:
-        raise ValueError(f"delta_t must be > 0, got {delta_t}")
-
-    total_rate = arrival + service
-    num_events = rng.poisson(total_rate * delta_t)
-    p_arrival = arrival / total_rate
-
-    z = states.astype(np.int64).copy()
-    drops = np.zeros(m, dtype=np.int64)
-    max_events = int(num_events.max(initial=0))
-    for k in range(max_events):
-        active = num_events > k
-        if not active.any():
-            break
-        is_arrival = rng.random(m) < p_arrival
-        arrivals = active & is_arrival
-        departures = active & ~is_arrival
-        drops += arrivals & (z >= buffer_size)
-        z += arrivals & (z < buffer_size)
-        z -= departures & (z > 0)
-    return z, drops
+    if arrival.shape != (states.size,):
+        raise ValueError(f"arrival_rates must have shape ({states.size},)")
+    new_states, drops = simulate_queues_epoch_batched(
+        states[None, :],
+        arrival[None, :],
+        service_rates,
+        delta_t,
+        buffer_size,
+        rng,
+    )
+    return new_states[0], drops[0]
 
 
 def simulate_queue_trajectory(

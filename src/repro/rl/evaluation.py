@@ -3,6 +3,17 @@
 The only stochasticity in the MFC MDP is the arrival-mode chain, so a
 modest number of rollouts gives tight estimates of the expected
 undiscounted episode return (the paper's Figure 3 y-axis).
+
+Evaluation episodes are independent, so they run in *lock-step*: all
+``E`` episode environments advance together and the upper-level policy
+is queried once per epoch for the whole ensemble
+(``decision_rules_batch`` — one network forward pass for neural
+policies). Each episode keeps its own spawned generator, so the
+lock-step mode trajectories match the historical one-episode-at-a-time
+loop exactly and, for deterministic policies, the returns agree up to
+floating-point association in the batched forward pass (tested); pass
+``lockstep=False`` to force the sequential path, e.g. for policies that
+consume the per-episode generator.
 """
 
 from __future__ import annotations
@@ -18,7 +29,59 @@ from repro.utils.stats import ConfidenceInterval, mean_confidence_interval
 if TYPE_CHECKING:  # import cycle: policies build on top of the RL stack
     from repro.policies.base import UpperLevelPolicy
 
-__all__ = ["evaluate_policy_mfc", "evaluate_policies_mfc"]
+__all__ = [
+    "evaluate_policy_mfc",
+    "evaluate_policies_mfc",
+    "rollout_returns_lockstep",
+]
+
+
+def rollout_returns_lockstep(
+    env: MeanFieldEnv,
+    policy: "UpperLevelPolicy",
+    episode_seeds,
+    num_steps: int | None = None,
+    discount: float | None = None,
+    policy_rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Per-episode returns of ``E`` lock-step MFC episodes.
+
+    ``episode_seeds`` is a sequence of per-episode seeds/generators (one
+    clone of ``env`` each). Every epoch issues a single batched policy
+    query over the ``(E, S)`` stacked mean fields, consuming
+    ``policy_rng`` — stochastic policies need one (the per-episode
+    generators only drive the environments). Stationary policies are
+    queried once in total.
+    """
+    seeds = list(episode_seeds)
+    if not seeds:
+        raise ValueError("need at least one episode seed")
+    envs = [env.clone(seed=as_generator(s)) for s in seeds]
+    for clone in envs:
+        clone.reset()
+    steps = int(num_steps if num_steps is not None else env.horizon)
+    totals = np.zeros(len(envs))
+    weight = 1.0
+    if policy.is_stationary():
+        shared_rule = policy.decision_rule(
+            envs[0].state.nu, envs[0].state.lam_mode, policy_rng
+        )
+    for _ in range(steps):
+        if policy.is_stationary():
+            rules = [shared_rule] * len(envs)
+        else:
+            nus = np.stack([clone.state.nu for clone in envs])
+            modes = np.asarray([clone.state.lam_mode for clone in envs])
+            rules = policy.decision_rules_batch(nus, modes, policy_rng)
+        done = False
+        for i, (clone, rule) in enumerate(zip(envs, rules)):
+            _, reward, done, _ = clone.step(rule)
+            totals[i] += weight * reward
+        if discount is not None:
+            weight *= discount
+        if done:  # shared horizon: all replicas truncate together
+            break
+    return totals
 
 
 def evaluate_policy_mfc(
@@ -29,15 +92,30 @@ def evaluate_policy_mfc(
     discount: float | None = None,
     seed: int | np.random.Generator | None = None,
     level: float = 0.95,
+    lockstep: bool = True,
 ) -> ConfidenceInterval:
     """Mean (un)discounted return of ``policy`` over fresh MFC episodes."""
     if episodes < 1:
         raise ValueError("episodes must be >= 1")
-    rngs = spawn_generators(seed, episodes)
-    returns = [
-        env.rollout_return(policy, num_steps=num_steps, discount=discount, seed=rng)
-        for rng in rngs
-    ]
+    # episodes env generators + one policy-query generator; the first
+    # `episodes` children match a plain spawn_generators(seed, episodes).
+    rngs = spawn_generators(seed, episodes + 1)
+    if lockstep:
+        returns = rollout_returns_lockstep(
+            env,
+            policy,
+            rngs[:episodes],
+            num_steps=num_steps,
+            discount=discount,
+            policy_rng=rngs[episodes],
+        )
+    else:
+        returns = [
+            env.rollout_return(
+                policy, num_steps=num_steps, discount=discount, seed=rng
+            )
+            for rng in rngs[:episodes]
+        ]
     return mean_confidence_interval(returns, level=level)
 
 
@@ -47,6 +125,7 @@ def evaluate_policies_mfc(
     episodes: int = 20,
     num_steps: int | None = None,
     seed: int | np.random.Generator | None = None,
+    lockstep: bool = True,
 ) -> dict[str, ConfidenceInterval]:
     """Evaluate several policies on a *common* set of arrival-mode seeds
     (common random numbers sharpen the comparison)."""
@@ -54,9 +133,15 @@ def evaluate_policies_mfc(
     episode_seeds = [int(root.integers(2**62)) for _ in range(episodes)]
     results: dict[str, ConfidenceInterval] = {}
     for name, policy in policies.items():
-        returns = [
-            env.rollout_return(policy, num_steps=num_steps, seed=s)
-            for s in episode_seeds
-        ]
+        if lockstep:
+            returns = rollout_returns_lockstep(
+                env, policy, episode_seeds, num_steps=num_steps,
+                policy_rng=root,
+            )
+        else:
+            returns = [
+                env.rollout_return(policy, num_steps=num_steps, seed=s)
+                for s in episode_seeds
+            ]
         results[name] = mean_confidence_interval(returns)
     return results

@@ -28,6 +28,7 @@ from repro.rl.distributions import DiagGaussian
 from repro.rl.nn import GaussianPolicyNetwork, ValueNetwork
 from repro.rl.optim import Adam, clip_grads_by_global_norm
 from repro.rl.rollout import RolloutBatch, RolloutCollector
+from repro.rl.vector_rollout import VectorRolloutCollector
 from repro.utils.rng import as_generator
 
 __all__ = ["PPOTrainer", "TrainIterationStats"]
@@ -69,6 +70,13 @@ class PPOTrainer:
         ``observation_size`` and ``action_size``.
     config:
         :class:`repro.config.PPOConfig` (Table 2 defaults).
+    num_envs:
+        Collect experience from this many environments in lock-step via
+        :class:`repro.rl.vector_rollout.VectorRolloutCollector` (one
+        policy/value forward per time slice instead of per step). The
+        extra environments come from ``env_factory`` if given, else from
+        ``env.clone()``. ``train_batch_size`` must be divisible by
+        ``num_envs``.
     """
 
     def __init__(
@@ -76,8 +84,17 @@ class PPOTrainer:
         env,
         config: PPOConfig | None = None,
         seed: int | np.random.Generator | None = None,
+        num_envs: int = 1,
+        env_factory=None,
     ) -> None:
         self.config = config if config is not None else PPOConfig()
+        if num_envs < 1:
+            raise ValueError(f"num_envs must be >= 1, got {num_envs}")
+        if self.config.train_batch_size % num_envs != 0:
+            raise ValueError(
+                f"train_batch_size {self.config.train_batch_size} must be "
+                f"divisible by num_envs {num_envs}"
+            )
         root = as_generator(seed if seed is not None else self.config.seed)
         init_rng, rollout_rng, self._shuffle_rng = (
             as_generator(int(root.integers(2**63))) for _ in range(3)
@@ -94,14 +111,31 @@ class PPOTrainer:
         self.value = ValueNetwork(
             obs_dim, hidden_sizes=self.config.hidden_sizes, rng=init_rng
         )
-        self.collector = RolloutCollector(
-            env,
-            self.policy,
-            self.value,
-            gamma=self.config.gamma,
-            gae_lambda=self.config.gae_lambda,
-            seed=rollout_rng,
-        )
+        if num_envs == 1:
+            self.collector = RolloutCollector(
+                env,
+                self.policy,
+                self.value,
+                gamma=self.config.gamma,
+                gae_lambda=self.config.gae_lambda,
+                seed=rollout_rng,
+            )
+        else:
+            if env_factory is None:
+                if not hasattr(env, "clone"):
+                    raise ValueError(
+                        "num_envs > 1 needs env.clone() or an env_factory"
+                    )
+                env_factory = env.clone
+            envs = [env] + [env_factory() for _ in range(num_envs - 1)]
+            self.collector = VectorRolloutCollector(
+                envs,
+                self.policy,
+                self.value,
+                gamma=self.config.gamma,
+                gae_lambda=self.config.gae_lambda,
+                seed=rollout_rng,
+            )
         self.kl_coeff = self.config.kl_coeff
         self._policy_opt = Adam.for_params(
             self.policy.params, self.config.learning_rate
