@@ -24,8 +24,10 @@ equivalence (tiny timings are dominated by noise).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -37,6 +39,7 @@ from repro.utils.tables import format_table
 MIN_SPEEDUP = 5.0
 FULL_DELTA_TS = tuple(float(x) for x in range(1, 11))
 QUICK_DELTA_TS = (2.0, 5.0)
+DEFAULT_JSON = Path("BENCH_batched_backend.json")
 
 
 def run_backend_sweep(
@@ -93,7 +96,9 @@ def equivalence_gaps(batched: dict, scalar: dict) -> dict[float, float]:
     return gaps
 
 
-def run_bench(quick: bool = False, seed: int = 0) -> dict:
+def run_bench(
+    quick: bool = False, seed: int = 0, json_path: Path | None = DEFAULT_JSON
+) -> dict:
     delta_ts = QUICK_DELTA_TS if quick else FULL_DELTA_TS
     num_runs = 16 if quick else 32
     batched, t_batched = run_backend_sweep(
@@ -122,7 +127,7 @@ def run_bench(quick: bool = False, seed: int = 0) -> dict:
             rows,
             title=(
                 f"Batched vs scalar backend — {num_runs} replicas, "
-                f"JSQ(2), per-packet randomization"
+                "JSQ(2), per-packet randomization"
             ),
         )
     )
@@ -131,16 +136,37 @@ def run_bench(quick: bool = False, seed: int = 0) -> dict:
         f"-> {speedup:.1f}x speedup"
     )
 
+    worst = max(gaps.values())
+    stats = {
+        "benchmark": "batched_backend",
+        "mode": "quick" if quick else "full",
+        "wall_clock_s": {
+            "batched": round(t_batched, 4),
+            "scalar": round(t_scalar, 4),
+        },
+        "speedup": round(speedup, 3),
+        "worst_z": round(worst, 3),
+        "scale": {
+            "num_queues": 100,
+            "num_clients": 400,
+            "num_runs": num_runs,
+            "delta_ts": list(delta_ts),
+        },
+        "min_speedup_asserted": MIN_SPEEDUP if not quick else None,
+    }
+    if json_path is not None:
+        json_path.write_text(json.dumps(stats, indent=2) + "\n")
+        print(f"[json written to {json_path}]")
+
     # Statistical equivalence: with independent streams the worst |z|
     # over the grid stays small; 4 SEs is a generous, non-flaky bound.
-    worst = max(gaps.values())
     assert worst < 4.0, f"backends disagree: worst |z| = {worst:.2f}"
     if not quick:
         assert speedup >= MIN_SPEEDUP, (
             f"batched backend only {speedup:.1f}x faster "
             f"(expected >= {MIN_SPEEDUP}x)"
         )
-    return {"speedup": speedup, "worst_z": worst}
+    return stats
 
 
 def test_batched_backend(benchmark, results_dir):
@@ -161,8 +187,14 @@ def main(argv=None) -> int:
         help="small grid, equivalence check only (CI smoke)",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=DEFAULT_JSON,
+        help=f"machine-readable output path (default {DEFAULT_JSON})",
+    )
     args = parser.parse_args(argv)
-    run_bench(quick=args.quick, seed=args.seed)
+    run_bench(quick=args.quick, seed=args.seed, json_path=args.json)
     return 0
 
 

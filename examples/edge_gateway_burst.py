@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import argparse
 
-import numpy as np
 
 from repro.config import paper_system_config
 from repro.meanfield.mfc_env import MeanFieldEnv

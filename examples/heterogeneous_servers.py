@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import argparse
 
-import numpy as np
 
 from repro.config import paper_system_config
 from repro.queueing.heterogeneous import (

@@ -27,7 +27,6 @@ import sys
 import time
 from pathlib import Path
 
-import numpy as np
 
 from repro.config import PPOConfig, paper_system_config
 from repro.experiments.pretrained import checkpoint_path
@@ -201,7 +200,7 @@ def main(argv=None) -> int:
         # Fail before the CEM stage: the PPO batch must split evenly
         # across the lock-step environments (PPOTrainer re-checks).
         parser.error(
-            f"--num-envs must divide the PPO train batch size "
+            "--num-envs must divide the PPO train batch size "
             f"{batch_size}, got {args.num_envs}"
         )
     delta_ts = [float(x) for x in args.delta_ts.split(",") if x.strip()]

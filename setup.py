@@ -1,11 +1,17 @@
-"""Legacy setup shim.
+"""Legacy setup shim — ``pip install -e .`` is the canonical install.
 
-The offline environment ships setuptools but not the ``wheel`` package,
-so PEP 660 editable installs (which build an editable wheel) fail.
-This shim lets ``pip install -e . --no-build-isolation --no-use-pep517``
-fall back to the classic ``setup.py develop`` path. All metadata lives
-in ``pyproject.toml``.
+All metadata (dependencies, extras, console scripts, package data)
+lives in ``pyproject.toml``; this file declares nothing of its own. It
+exists only so that fully offline environments that ship ``setuptools``
+but not ``wheel`` (where PEP 660 editable installs fail because they
+must build an editable wheel) can fall back to the classic path::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+Online environments — including CI — should use plain
+``pip install -e .[test]``.
 """
+
 from setuptools import setup
 
 setup()

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 __all__ = [
@@ -139,6 +139,35 @@ class SystemConfig:
     def arrival_levels(self) -> tuple[float, float]:
         """``(lambda_h, lambda_l)`` in paper order (high first)."""
         return (self.arrival_rate_high, self.arrival_rate_low)
+
+    @property
+    def stationary_arrival_rate(self) -> float:
+        """Long-run mean per-queue arrival intensity ``E[λ_t]``.
+
+        The two-level modulating chain of Eq. (32)-(33) has stationary
+        distribution ``(π_h, π_l) ∝ (p_low_to_high, p_high_to_low)``;
+        degenerate chains (both switching probabilities zero) fall back
+        to the uniform initial distribution ``λ_0 ~ Unif({λ_h, λ_l})``.
+        """
+        total = self.p_high_to_low + self.p_low_to_high
+        if total == 0.0:
+            pi_high = 0.5
+        else:
+            pi_high = self.p_low_to_high / total
+        return (
+            pi_high * self.arrival_rate_high
+            + (1.0 - pi_high) * self.arrival_rate_low
+        )
+
+    @property
+    def offered_load(self) -> float:
+        """Stationary per-server utilization ``ρ = E[λ_t] / α``.
+
+        ``ρ > 1`` means the system is in overload: queues saturate and
+        drops are unavoidable regardless of the routing policy (the
+        regime stressed by the ``overload`` scenario).
+        """
+        return self.stationary_arrival_rate / self.service_rate
 
     def resolved_eval_length(self) -> int:
         """``T_e``: explicit value, else the paper's ``round(500/Δt)``."""

@@ -1,17 +1,22 @@
 """Command-line interface for the experiment harness.
 
-Regenerate any paper artifact from a shell::
+Regenerate any paper artifact — or any registered scenario — from a
+shell::
 
     python -m repro.experiments.cli table1
     python -m repro.experiments.cli table2
     python -m repro.experiments.cli fig3 --iterations 10
     python -m repro.experiments.cli fig4 --delta-t 5 --m-grid 25,50,100
-    python -m repro.experiments.cli fig5 --queues 100 --runs 5
+    python -m repro.experiments.cli fig5 --queues 100 --runs 5 --workers 4
     python -m repro.experiments.cli fig6 --queues 100 --runs 5
+    python -m repro.experiments.cli scenario list
+    python -m repro.experiments.cli scenario heterogeneous-sed --workers 4
 
 Each command prints the regenerated ASCII table and, with ``--csv PATH``,
 writes the underlying series for external plotting. Grids default to
 bench scale; pass paper-scale values explicitly for a full reproduction.
+``--workers K`` shards the Monte-Carlo sweeps across ``K`` processes
+(results are bit-identical to ``--workers 1``; see ``docs/scaling.md``).
 """
 
 from __future__ import annotations
@@ -59,6 +64,7 @@ def build_parser() -> argparse.ArgumentParser:
     p4.add_argument("--runs", type=int, default=5)
     p4.add_argument("--seed", type=int, default=0)
     p4.add_argument("--csv", type=Path, default=None)
+    _add_workers_flag(p4)
 
     p5 = sub.add_parser("fig5", help="Figure 5: delay sweep")
     p5.add_argument("--queues", type=int, default=100)
@@ -69,6 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
     p5.add_argument("--runs", type=int, default=5)
     p5.add_argument("--seed", type=int, default=0)
     p5.add_argument("--csv", type=Path, default=None)
+    _add_workers_flag(p5)
 
     p6 = sub.add_parser("fig6", help="Figure 6: N >> M violated")
     p6.add_argument("--queues", type=int, default=100)
@@ -79,7 +86,40 @@ def build_parser() -> argparse.ArgumentParser:
     p6.add_argument("--runs", type=int, default=5)
     p6.add_argument("--seed", type=int, default=0)
     p6.add_argument("--csv", type=Path, default=None)
+    _add_workers_flag(p6)
+
+    ps = sub.add_parser(
+        "scenario",
+        help="registered scenario sweeps ('scenario list' to enumerate)",
+    )
+    ps.add_argument(
+        "name",
+        help="registered scenario name, or 'list' to print the catalogue",
+    )
+    ps.add_argument(
+        "--delta-ts", type=_parse_floats, default=None,
+        help="override the scenario's delay grid",
+    )
+    ps.add_argument(
+        "--queues", type=int, default=None,
+        help="override M (N follows the scenario's client rule)",
+    )
+    ps.add_argument(
+        "--runs", type=int, default=None,
+        help="override the Monte-Carlo replica count",
+    )
+    ps.add_argument("--seed", type=int, default=0)
+    ps.add_argument("--csv", type=Path, default=None)
+    _add_workers_flag(ps)
     return parser
+
+
+def _add_workers_flag(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--workers", type=int, default=1,
+        help="process count for the sharded sweep (1 = in-process; "
+        "results are identical for any value)",
+    )
 
 
 def _emit(text: str, result, csv_path: Path | None) -> None:
@@ -110,6 +150,7 @@ def main(argv: list[str] | None = None) -> int:
             m_grid=args.m_grid,
             num_runs=args.runs,
             seed=args.seed,
+            workers=args.workers,
         )
         _emit(result.format_table(), result, args.csv)
     elif args.command == "fig5":
@@ -118,6 +159,7 @@ def main(argv: list[str] | None = None) -> int:
             delta_ts=args.delta_ts,
             num_runs=args.runs,
             seed=args.seed,
+            workers=args.workers,
         )
         _emit(result.format_table(), result, args.csv)
     elif args.command == "fig6":
@@ -126,8 +168,31 @@ def main(argv: list[str] | None = None) -> int:
             delta_ts=args.delta_ts,
             num_runs=args.runs,
             seed=args.seed,
+            workers=args.workers,
         )
         _emit(result.format_table(), result, args.csv)
+    elif args.command == "scenario":
+        from repro.scenarios import run_scenario, scenario_summaries
+        from repro.utils.tables import format_table
+
+        if args.name == "list":
+            print(
+                format_table(
+                    ["scenario", "ρ", "default grid", "description"],
+                    [list(row) for row in scenario_summaries()],
+                    title="Registered scenarios",
+                )
+            )
+        else:
+            result = run_scenario(
+                args.name,
+                delta_ts=args.delta_ts,
+                num_queues=args.queues,
+                num_runs=args.runs,
+                workers=args.workers,
+                seed=args.seed,
+            )
+            _emit(result.format_table(), result, args.csv)
     else:  # pragma: no cover - argparse enforces choices
         raise AssertionError(f"unhandled command {args.command!r}")
     return 0

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from repro.config import PPOConfig, SystemConfig, paper_ppo_config, paper_system_config
 from repro.meanfield.mfc_env import MeanFieldEnv

@@ -16,9 +16,9 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.config import SystemConfig, paper_system_config
+from repro.config import paper_system_config
 from repro.experiments.pretrained import get_mf_policy
-from repro.experiments.runner import MonteCarloResult, evaluate_policy_finite
+from repro.experiments.runner import MonteCarloResult
 from repro.meanfield.mfc_env import MeanFieldEnv
 from repro.rl.evaluation import evaluate_policy_mfc
 from repro.utils.tables import format_table, series_to_csv
@@ -88,12 +88,18 @@ def run_fig4(
     clients_of_m=None,
     mf_eval_episodes: int = 50,
     seed: int = 0,
+    workers: int = 1,
 ) -> Fig4Result:
     """Regenerate one Figure 4 panel (scaled grid by default).
 
     ``clients_of_m`` maps ``M`` to ``N`` and defaults to the paper's
-    ``N = M²``.
+    ``N = M²``. ``workers > 1`` shards the whole ``M``-grid (all replica
+    chunks of all sweep points) across one process pool, bit-identical
+    to the in-process sweep; the mean-field reference value is cheap and
+    stays in-process either way.
     """
+    from repro.experiments.parallel import EvalRequest, SweepExecutor
+
     if clients_of_m is None:
         clients_of_m = lambda m: m * m  # noqa: E731 - tiny local default
     if policy is None:
@@ -101,20 +107,27 @@ def run_fig4(
     else:
         source = "caller-supplied"
 
-    results: list[MonteCarloResult] = []
     n_values: list[int] = []
     num_epochs = max(1, round(500.0 / delta_t))
+    requests: list[EvalRequest] = []
     for m in m_grid:
         n = int(clients_of_m(m))
         cfg = paper_system_config(
             delta_t=delta_t, num_queues=m, num_clients=n
         ).with_updates(monte_carlo_runs=num_runs)
-        results.append(
-            evaluate_policy_finite(
-                cfg, policy, num_runs=num_runs, num_epochs=num_epochs, seed=seed
+        requests.append(
+            EvalRequest(
+                config=cfg,
+                policy=policy,
+                num_runs=num_runs,
+                num_epochs=num_epochs,
+                seed=seed,
             )
         )
         n_values.append(n)
+    results: list[MonteCarloResult] = SweepExecutor(workers=workers).run(
+        requests
+    )
 
     # Mean-field reference (the red dotted line): expected cumulative
     # drops of the same policy in the limiting MDP over the same horizon.

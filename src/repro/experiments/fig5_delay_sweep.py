@@ -18,11 +18,7 @@ import numpy as np
 
 from repro.config import paper_system_config
 from repro.experiments.pretrained import get_mf_policy
-from repro.experiments.runner import (
-    MonteCarloResult,
-    evaluate_policy_finite,
-    policy_suite,
-)
+from repro.experiments.runner import MonteCarloResult, policy_suite
 from repro.utils.tables import format_table, series_to_csv
 
 if TYPE_CHECKING:
@@ -93,6 +89,7 @@ def run_fig5(
     mf_policies: "dict[float, UpperLevelPolicy] | None" = None,
     per_packet_randomization: bool = True,
     seed: int = 0,
+    workers: int = 1,
 ) -> Fig5Result:
     """Regenerate one Figure 5 panel (scaled grid by default).
 
@@ -101,7 +98,15 @@ def run_fig5(
     ``per_packet_randomization`` defaults to the paper's experimental
     setting (remark below Eq. 4: packets re-sample their slot); set it
     to False for the committed-choice model of Eq. (5).
+
+    The whole ``(Δt × policy)`` grid runs on one
+    :class:`repro.experiments.parallel.SweepExecutor`: with
+    ``workers > 1`` every replica chunk of every cell competes for the
+    same process pool, and the per-cell statistics are bit-identical to
+    the in-process ``workers=1`` sweep.
     """
+    from repro.experiments.parallel import EvalRequest, SweepExecutor
+
     if clients_of_m is None:
         clients_of_m = lambda m: m * m  # noqa: E731
         clients_rule = "M^2"
@@ -109,7 +114,8 @@ def run_fig5(
         clients_rule = "custom"
     num_clients = int(clients_of_m(num_queues))
 
-    results: dict[str, list[MonteCarloResult]] = {}
+    requests: list[EvalRequest] = []
+    cells: list[str] = []
     policy_sources: dict[float, str] = {}
     for dt in delta_ts:
         cfg = paper_system_config(
@@ -123,17 +129,25 @@ def run_fig5(
         suite = policy_suite(cfg, mf_policy=mf_policy)
         num_epochs = max(1, round(500.0 / dt))
         for name, policy in suite.items():
-            res = evaluate_policy_finite(
-                cfg,
-                policy,
-                num_runs=num_runs,
-                num_epochs=num_epochs,
-                seed=seed,
-                env_kwargs={
-                    "per_packet_randomization": per_packet_randomization
-                },
+            requests.append(
+                EvalRequest(
+                    config=cfg,
+                    policy=policy,
+                    num_runs=num_runs,
+                    num_epochs=num_epochs,
+                    seed=seed,
+                    env_kwargs={
+                        "per_packet_randomization": per_packet_randomization
+                    },
+                )
             )
-            results.setdefault(name, []).append(res)
+            cells.append(name)
+
+    results: dict[str, list[MonteCarloResult]] = {}
+    for name, res in zip(
+        cells, SweepExecutor(workers=workers).run(requests)
+    ):
+        results.setdefault(name, []).append(res)
     return Fig5Result(
         num_queues=num_queues,
         num_clients_rule=clients_rule,

@@ -49,8 +49,12 @@ def run_fig6(
     num_runs: int = 10,
     mf_policies: "dict[float, UpperLevelPolicy] | None" = None,
     seed: int = 0,
+    workers: int = 1,
 ) -> Fig6Result:
-    """Regenerate both Figure 6 panels (paper uses ``M = 1000``)."""
+    """Regenerate both Figure 6 panels (paper uses ``M = 1000``).
+
+    ``workers`` is forwarded to each panel's sharded sweep.
+    """
     panel_a = run_fig5(
         num_queues=num_queues,
         delta_ts=delta_ts,
@@ -58,6 +62,7 @@ def run_fig6(
         clients_of_m=lambda m: m,
         mf_policies=mf_policies,
         seed=seed,
+        workers=workers,
     )
     panel_a.num_clients_rule = "M"
     panel_b = run_fig5(
@@ -67,6 +72,7 @@ def run_fig6(
         clients_of_m=lambda m: max(1, m // 2),
         mf_policies=mf_policies,
         seed=seed,
+        workers=workers,
     )
     panel_b.num_clients_rule = "M/2"
     return Fig6Result(panel_a=panel_a, panel_b=panel_b)

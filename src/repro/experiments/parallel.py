@@ -1,0 +1,301 @@
+"""Sharded multiprocess execution of Monte-Carlo sweeps.
+
+The paper's headline artifacts (Figures 4-6) are embarrassingly parallel:
+independent Monte-Carlo replicas of independent sweep points. This module
+shards that work across a :class:`concurrent.futures.ProcessPoolExecutor`
+without giving up the repository's bit-for-bit reproducibility
+discipline.
+
+The key invariant is that the random streams are a pure function of each
+request's master seed and the *replica-chunk layout* — never of the
+worker count or completion order. :class:`SweepExecutor` decomposes every
+:class:`EvalRequest` into the exact same ``(sweep-point × replica-chunk)``
+shards the serial path of
+:func:`repro.experiments.runner.evaluate_policy_finite` iterates over,
+spawns one ``SeedSequence`` child per chunk (batched backend) or per run
+(scalar backend) the same way :func:`repro.utils.rng.spawn_generators`
+does, executes the shards in any order on any number of processes, and
+reassembles the per-replica drops by offset. Consequently::
+
+    SweepExecutor(workers=1).run(reqs)
+    == SweepExecutor(workers=4).run(reqs)     # bit-identical
+    == [evaluate_policy_finite(...) per req]  # bit-identical
+
+``workers=1`` never touches ``multiprocessing`` at all — the graceful
+in-process fallback used by tests, single-core boxes and nested callers.
+
+Everything shipped to a worker (config, policy, environment class and
+kwargs, seed material) crosses the process boundary by pickling; the
+policies and environments in this repository are plain
+NumPy-array-holding objects, so this is cheap relative to a shard's
+simulation work. See ``docs/scaling.md`` for guidance on combining
+process-level sharding with the replica-batched backend.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.queueing.batched_env import (
+    BatchedFiniteSystemEnv,
+    _BatchedQueueSystemBase,
+    run_episodes_batched,
+)
+from repro.queueing.env import FiniteSystemEnv, run_episode
+from repro.utils.stats import mean_confidence_interval
+
+if TYPE_CHECKING:
+    from repro.experiments.runner import MonteCarloResult
+    from repro.policies.base import UpperLevelPolicy
+
+__all__ = ["EvalRequest", "SweepExecutor"]
+
+SeedLike = "int | np.random.SeedSequence | np.random.Generator | None"
+
+
+@dataclass(frozen=True)
+class EvalRequest:
+    """One Monte-Carlo evaluation: a sweep point of Figures 4-6.
+
+    Mirrors the signature of
+    :func:`repro.experiments.runner.evaluate_policy_finite`; a request is
+    the unit whose merged statistics are guaranteed identical no matter
+    how many workers execute its shards.
+
+    ``env_cls`` may be a scalar environment class (``backend="scalar"``)
+    or a subclass of the batched queue-system base
+    (``backend="batched"``); ``None`` selects the standard
+    finite-system environment for the chosen backend.
+    """
+
+    config: SystemConfig
+    policy: "UpperLevelPolicy"
+    num_runs: int | None = None
+    num_epochs: int | None = None
+    seed: "SeedLike" = 0
+    backend: str = "batched"
+    max_batch_replicas: int = 64
+    env_cls: type | None = None
+    env_kwargs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("batched", "scalar"):
+            raise ValueError(
+                f"unknown backend {self.backend!r}; use 'batched' or 'scalar'"
+            )
+        if self.max_batch_replicas < 1:
+            raise ValueError("max_batch_replicas must be >= 1")
+        if self.resolved_runs() < 1:
+            raise ValueError("num_runs must be >= 1")
+
+    def resolved_runs(self) -> int:
+        return int(
+            self.num_runs
+            if self.num_runs is not None
+            else self.config.monte_carlo_runs
+        )
+
+    def uses_batched_backend(self) -> bool:
+        """Batched lock-step path unless a scalar-only env is requested."""
+        if self.backend != "batched":
+            return False
+        return self.env_cls is None or issubclass(
+            self.env_cls, _BatchedQueueSystemBase
+        )
+
+
+@dataclass(frozen=True)
+class _Shard:
+    """A contiguous replica chunk of one request (the work unit)."""
+
+    request_index: int
+    offset: int  # first replica index within the request
+    num_runs: int
+    # Batched shards carry one seed (the chunk generator); scalar shards
+    # one seed per run. Entries are SeedSequences (or ints for exotic
+    # generators without a retrievable seed sequence).
+    seeds: tuple
+
+
+def _spawn_seed_children(seed: "SeedLike", count: int) -> list:
+    """Children mirroring :func:`repro.utils.rng.spawn_generators`.
+
+    Returns picklable seed material (``SeedSequence`` children, or drawn
+    integers for generators without a seed sequence) such that
+    ``np.random.default_rng(child)`` equals the serial path's generator
+    for the same position.
+    """
+    if isinstance(seed, np.random.Generator):
+        seed_seq = seed.bit_generator.seed_seq  # type: ignore[attr-defined]
+        if seed_seq is None:  # pragma: no cover - exotic bit generators
+            return [int(seed.integers(2**63)) for _ in range(count)]
+        return list(seed_seq.spawn(count))
+    if isinstance(seed, np.random.SeedSequence):
+        return list(seed.spawn(count))
+    return list(np.random.SeedSequence(seed).spawn(count))
+
+
+def _chunk_sizes(runs: int, max_chunk: int) -> list[int]:
+    """The serial path's replica chunking (same layout, same order)."""
+    return [min(max_chunk, runs - start) for start in range(0, runs, max_chunk)]
+
+
+def _decompose(requests: Sequence[EvalRequest]) -> list[_Shard]:
+    """Split every request into its deterministic replica-chunk shards."""
+    shards: list[_Shard] = []
+    for index, request in enumerate(requests):
+        runs = request.resolved_runs()
+        if request.uses_batched_backend():
+            sizes = _chunk_sizes(runs, request.max_batch_replicas)
+            children = _spawn_seed_children(request.seed, len(sizes))
+            offset = 0
+            for size, child in zip(sizes, children):
+                shards.append(_Shard(index, offset, size, (child,)))
+                offset += size
+        else:
+            # Scalar path: one generator per run (matching the serial
+            # loop), grouped into chunks so task count stays bounded.
+            children = _spawn_seed_children(request.seed, runs)
+            sizes = _chunk_sizes(runs, request.max_batch_replicas)
+            offset = 0
+            for size in sizes:
+                shards.append(
+                    _Shard(
+                        index,
+                        offset,
+                        size,
+                        tuple(children[offset : offset + size]),
+                    )
+                )
+                offset += size
+    return shards
+
+
+def _run_shard(request: EvalRequest, shard: _Shard) -> np.ndarray:
+    """Execute one shard; returns its per-replica cumulative drops.
+
+    Must remain a module-level function (pickled by reference when
+    dispatched to worker processes).
+    """
+    if request.uses_batched_backend():
+        rng = np.random.default_rng(shard.seeds[0])
+        env_cls = request.env_cls or BatchedFiniteSystemEnv
+        env = env_cls(
+            request.config,
+            num_replicas=shard.num_runs,
+            seed=rng,
+            **request.env_kwargs,
+        )
+        result = run_episodes_batched(
+            env, request.policy, num_epochs=request.num_epochs, seed=rng
+        )
+        return result.total_drops_per_queue
+    env_cls = request.env_cls or FiniteSystemEnv
+    drops = np.empty(shard.num_runs)
+    for i, child in enumerate(shard.seeds):
+        rng = np.random.default_rng(child)
+        env = env_cls(request.config, seed=rng, **request.env_kwargs)
+        episode = run_episode(
+            env, request.policy, num_epochs=request.num_epochs, seed=rng
+        )
+        drops[i] = episode.total_drops_per_queue
+    return drops
+
+
+class SweepExecutor:
+    """Shard ``(sweep-point × replica-chunk)`` work units across processes.
+
+    Parameters
+    ----------
+    workers:
+        Process count. ``1`` executes every shard in-process (no
+        ``multiprocessing`` involvement); ``None`` uses
+        ``os.cpu_count()``. Results are independent of this value.
+    mp_context:
+        Optional ``multiprocessing`` context or start-method name
+        (``"fork"``, ``"spawn"``, ...) forwarded to the pool.
+    """
+
+    def __init__(self, workers: int | None = None, mp_context=None) -> None:
+        import os
+
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        if isinstance(mp_context, str):
+            import multiprocessing
+
+            mp_context = multiprocessing.get_context(mp_context)
+        self._mp_context = mp_context
+
+    def run_drops(self, requests: Sequence[EvalRequest]) -> list[np.ndarray]:
+        """Merged per-replica drops for every request, in request order.
+
+        The low-level entry point: returns the raw drop arrays so callers
+        that do not want :class:`MonteCarloResult` objects (benchmarks,
+        custom mergers) can consume shard output directly.
+        """
+        requests = list(requests)
+        merged = [np.empty(req.resolved_runs()) for req in requests]
+        shards = _decompose(requests)
+        if self.workers == 1 or len(shards) <= 1:
+            for shard in shards:
+                drops = _run_shard(requests[shard.request_index], shard)
+                self._merge(merged, shard, drops)
+            return merged
+        max_workers = min(self.workers, len(shards))
+        with ProcessPoolExecutor(
+            max_workers=max_workers, mp_context=self._mp_context
+        ) as pool:
+            futures = {
+                pool.submit(_run_shard, requests[shard.request_index], shard): shard
+                for shard in shards
+            }
+            try:
+                for future in as_completed(futures):
+                    self._merge(merged, futures[future], future.result())
+            except BaseException:
+                # Fail fast: drop every still-queued shard instead of
+                # letting a long sweep run to completion behind the
+                # first worker failure (in-flight shards still finish).
+                for future in futures:
+                    future.cancel()
+                raise
+        return merged
+
+    def run(self, requests: Sequence[EvalRequest]) -> "list[MonteCarloResult]":
+        """Evaluate every request; returns one merged
+        :class:`~repro.experiments.runner.MonteCarloResult` per request,
+        bit-identical to the serial
+        :func:`~repro.experiments.runner.evaluate_policy_finite` path."""
+        from repro.experiments.runner import MonteCarloResult
+
+        requests = list(requests)
+        return [
+            MonteCarloResult(
+                policy_name=request.policy.name,
+                config=request.config,
+                drops=drops,
+                interval=mean_confidence_interval(drops),
+            )
+            for request, drops in zip(requests, self.run_drops(requests))
+        ]
+
+    @staticmethod
+    def _merge(
+        merged: list[np.ndarray], shard: _Shard, drops: np.ndarray
+    ) -> None:
+        if drops.shape != (shard.num_runs,):
+            raise RuntimeError(
+                f"shard returned {drops.shape}, expected ({shard.num_runs},)"
+            )
+        merged[shard.request_index][
+            shard.offset : shard.offset + shard.num_runs
+        ] = drops

@@ -26,13 +26,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.config import SystemConfig
-from repro.queueing.batched_env import (
-    BatchedFiniteSystemEnv,
-    run_episodes_batched,
-)
-from repro.queueing.env import FiniteSystemEnv, run_episode
-from repro.utils.rng import spawn_generators
-from repro.utils.stats import ConfidenceInterval, mean_confidence_interval
+from repro.utils.stats import ConfidenceInterval
 
 if TYPE_CHECKING:
     from repro.policies.base import UpperLevelPolicy
@@ -64,6 +58,7 @@ def evaluate_policy_finite(
     env_kwargs: dict | None = None,
     backend: str = "batched",
     max_batch_replicas: int = 64,
+    workers: int = 1,
 ) -> MonteCarloResult:
     """Monte-Carlo estimate of cumulative per-queue drops (Figures 4-6).
 
@@ -72,48 +67,38 @@ def evaluate_policy_finite(
     ``max_batch_replicas``; each chunk draws from its own generator
     spawned from ``seed``. ``backend="scalar"`` rebuilds one scalar
     environment per run (one spawned generator each) — the historical
-    path, kept for equivalence testing and for custom ``env_cls``
-    overrides, which stay scalar-only.
+    path, kept for equivalence testing and for custom scalar ``env_cls``
+    overrides. A batched ``env_cls`` (any
+    :class:`repro.queueing.batched_env._BatchedQueueSystemBase`
+    subclass, e.g. the heterogeneous-server environment) rides the
+    batched path.
+
+    ``workers > 1`` shards the replica chunks across a process pool via
+    :class:`repro.experiments.parallel.SweepExecutor`; the random
+    streams are a function of ``seed`` and the chunk layout only, so the
+    result is bit-identical to ``workers=1`` (which stays entirely
+    in-process).
     """
-    runs = int(num_runs if num_runs is not None else config.monte_carlo_runs)
-    if runs < 1:
-        raise ValueError("num_runs must be >= 1")
-    if backend not in ("batched", "scalar"):
-        raise ValueError(f"unknown backend {backend!r}; use 'batched' or 'scalar'")
-    kwargs = env_kwargs or {}
-    if backend == "batched" and env_cls is None:
-        if max_batch_replicas < 1:
-            raise ValueError("max_batch_replicas must be >= 1")
-        chunks = [
-            min(max_batch_replicas, runs - start)
-            for start in range(0, runs, max_batch_replicas)
-        ]
-        rngs = spawn_generators(seed, len(chunks))
-        drops = np.empty(runs)
-        cursor = 0
-        for chunk, rng in zip(chunks, rngs):
-            env = BatchedFiniteSystemEnv(
-                config, num_replicas=chunk, seed=rng, **kwargs
-            )
-            result = run_episodes_batched(
-                env, policy, num_epochs=num_epochs, seed=rng
-            )
-            drops[cursor : cursor + chunk] = result.total_drops_per_queue
-            cursor += chunk
-    else:
-        scalar_cls = env_cls if env_cls is not None else FiniteSystemEnv
-        rngs = spawn_generators(seed, runs)
-        drops = np.empty(runs)
-        for i, rng in enumerate(rngs):
-            env = scalar_cls(config, seed=rng, **kwargs)
-            result = run_episode(env, policy, num_epochs=num_epochs, seed=rng)
-            drops[i] = result.total_drops_per_queue
-    return MonteCarloResult(
-        policy_name=policy.name,
+    # Lazy import: parallel builds on this module's result type. The
+    # replica-chunk layout, SeedSequence spawning and both execution
+    # backends live in ONE place (repro.experiments.parallel); the
+    # ``workers=1`` executor is the serial path, not a parallel variant
+    # of it, so there is no second copy of the chunk/seed logic whose
+    # drift could silently break the bit-identity guarantee.
+    from repro.experiments.parallel import EvalRequest, SweepExecutor
+
+    request = EvalRequest(
         config=config,
-        drops=drops,
-        interval=mean_confidence_interval(drops),
+        policy=policy,
+        num_runs=num_runs,
+        num_epochs=num_epochs,
+        seed=seed,
+        backend=backend,
+        max_batch_replicas=max_batch_replicas,
+        env_cls=env_cls,
+        env_kwargs=env_kwargs or {},
     )
+    return SweepExecutor(workers=workers).run([request])[0]
 
 
 def policy_suite(

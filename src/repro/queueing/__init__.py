@@ -24,8 +24,16 @@ from repro.queueing.batched_env import (
     run_episodes_batched,
 )
 from repro.queueing.events import simulate_epoch_event_driven
+from repro.queueing.heterogeneous import (
+    BatchedHeterogeneousFiniteEnv,
+    HeterogeneousFiniteEnv,
+    ServerClassSpec,
+)
 
 __all__ = [
+    "BatchedHeterogeneousFiniteEnv",
+    "HeterogeneousFiniteEnv",
+    "ServerClassSpec",
     "MarkovModulatedRate",
     "simulate_queues_epoch",
     "simulate_queues_epoch_batched",
@@ -39,4 +47,5 @@ __all__ = [
     "BatchedInfiniteClientEnv",
     "BatchedEpisodeResult",
     "run_episodes_batched",
+    "simulate_epoch_event_driven",
 ]

@@ -11,6 +11,15 @@ consumed by the queue CTMC depends on the class.
 The natural baseline in this setting is SED(d)
 (Shortest-Expected-Delay): route to the sampled queue minimizing
 ``(z + 1) / α_c``, which reduces to JSQ(d) for homogeneous rates.
+
+Simulation runs through the replica-batched backend:
+:class:`BatchedHeterogeneousFiniteEnv` is the ``E``-replica system
+(queue states ``(E, M)``, one kernel pass per epoch — a drop-in
+``env_cls`` for :func:`repro.experiments.runner.evaluate_policy_finite`
+and the sharded :class:`repro.experiments.parallel.SweepExecutor`), and
+the scalar :class:`HeterogeneousFiniteEnv` is its ``E = 1`` view, the
+same arrangement as :mod:`repro.queueing.env` over
+:mod:`repro.queueing.batched_env`.
 """
 
 from __future__ import annotations
@@ -23,15 +32,20 @@ import numpy as np
 from repro.config import SystemConfig
 from repro.meanfield.decision_rule import DecisionRule
 from repro.queueing.arrivals import MarkovModulatedRate
-from repro.queueing.clients import client_choice_counts, infinite_client_rates
-from repro.queueing.queue_ctmc import simulate_queues_epoch
-from repro.utils.rng import as_generator
+from repro.queueing.batched_env import _BatchedQueueSystemBase
+from repro.queueing.clients import (
+    client_choice_counts_batched,
+    infinite_client_rates_batched,
+    per_packet_rate_fractions_batched,
+)
 
 __all__ = [
     "ServerClassSpec",
     "sed_rule",
     "jsq_rule_heterogeneous",
     "rnd_rule_heterogeneous",
+    "sed_policy_suite",
+    "BatchedHeterogeneousFiniteEnv",
     "HeterogeneousFiniteEnv",
 ]
 
@@ -129,12 +143,129 @@ def rnd_rule_heterogeneous(
     return DecisionRule.uniform(spec.num_observed_states(buffer_size), d)
 
 
+def sed_policy_suite(
+    spec: ServerClassSpec, buffer_size: int, d: int
+) -> dict[str, "object"]:
+    """The heterogeneous comparison set: SED(d), class-blind JSQ(d), RND.
+
+    Each rule is wrapped in a stationary
+    :class:`repro.policies.static.ConstantRulePolicy` operating on the
+    flat ``Z × C`` observed states, ready for
+    :func:`repro.experiments.runner.evaluate_policy_finite` with
+    ``env_cls=BatchedHeterogeneousFiniteEnv``.
+    """
+    from repro.policies.static import ConstantRulePolicy
+
+    return {
+        f"SED({d})": ConstantRulePolicy(
+            sed_rule(spec, buffer_size, d), name=f"SED({d})"
+        ),
+        f"JSQ({d})": ConstantRulePolicy(
+            jsq_rule_heterogeneous(spec, buffer_size, d), name=f"JSQ({d})"
+        ),
+        "RND": ConstantRulePolicy(
+            rnd_rule_heterogeneous(spec, buffer_size, d), name="RND"
+        ),
+    }
+
+
+class BatchedHeterogeneousFiniteEnv(_BatchedQueueSystemBase):
+    """``E`` replicas of the finite ``N, M`` system with ``C`` server classes.
+
+    Decision rules operate on observed states ``o = z·C + c`` and the
+    empirical distribution lives on ``Z × C``; otherwise the lock-step
+    mechanics are exactly those of
+    :class:`repro.queueing.batched_env.BatchedFiniteSystemEnv` — every
+    replica shares the deterministic class assignment (largest-remainder
+    rounding of the spec's fractions) and its induced per-queue service
+    rates.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        spec: ServerClassSpec,
+        num_replicas: int = 1,
+        arrival_process: MarkovModulatedRate | None = None,
+        infinite_clients: bool = False,
+        per_packet_randomization: bool = False,
+        seed=None,
+    ) -> None:
+        classes = spec.assign_classes(config.num_queues)
+        super().__init__(
+            config,
+            num_replicas=num_replicas,
+            arrival_process=arrival_process,
+            service_rates=np.asarray(spec.service_rates)[classes],
+            per_packet_randomization=per_packet_randomization,
+            seed=seed,
+        )
+        self.spec = spec
+        self.classes = classes
+        self.infinite_clients = infinite_clients
+
+    @property
+    def num_observed_states(self) -> int:
+        return self.spec.num_observed_states(self.config.buffer_size)
+
+    def observed_states(self) -> np.ndarray:
+        """Flat ``(E, M)`` observed states ``o = z·C + c``."""
+        if self._states is None:
+            raise RuntimeError("environment must be reset before use")
+        return self.spec.encode(self._states, self.classes[None, :])
+
+    def empirical_distributions(self) -> np.ndarray:
+        """Per-replica distribution over ``Z × C``, shape ``(E, S·C)``."""
+        s_obs = self.num_observed_states
+        observed = self.observed_states()
+        offsets = np.arange(self.num_replicas, dtype=np.int64)[:, None] * s_obs
+        counts = np.bincount(
+            (observed + offsets).ravel(),
+            minlength=self.num_replicas * s_obs,
+        ).reshape(self.num_replicas, s_obs)
+        return counts.astype(np.float64) / self.config.num_queues
+
+    def _check_rules(self, rules) -> None:
+        first = rules if isinstance(rules, DecisionRule) else rules[0]
+        if first.num_states != self.num_observed_states or first.d != self.config.d:
+            raise ValueError(
+                "rule geometry does not match the heterogeneous system "
+                f"(expected S={self.num_observed_states}, d={self.config.d}, "
+                f"got S={first.num_states}, d={first.d})"
+            )
+
+    def _frozen_rates(self, rules) -> np.ndarray:
+        observed = self.observed_states()
+        if self.infinite_clients:
+            return infinite_client_rates_batched(
+                observed, rules, self.current_rates
+            )
+        lam = self.current_rates[:, None]
+        if self.per_packet_randomization:
+            fractions = per_packet_rate_fractions_batched(
+                observed, self.config.num_clients, rules, self._rng
+            )
+            return self.config.num_queues * lam * fractions
+        counts = client_choice_counts_batched(
+            observed, self.config.num_clients, rules, self._rng
+        )
+        return (
+            self.config.num_queues
+            * lam
+            * counts.astype(np.float64)
+            / self.config.num_clients
+        )
+
+
 class HeterogeneousFiniteEnv:
-    """Finite ``N, M`` system with ``C`` server classes.
+    """Finite ``N, M`` system with ``C`` server classes (``E = 1`` view).
 
     The API mirrors :class:`repro.queueing.env.FiniteSystemEnv`, but the
     decision rule operates on observed states ``o = z·C + c`` and the
-    empirical distribution lives on ``Z × C``.
+    empirical distribution lives on ``Z × C``. All simulation happens in
+    an underlying single-replica :class:`BatchedHeterogeneousFiniteEnv`,
+    so scalar and batched heterogeneous runs with a shared seed are
+    bit-identical.
     """
 
     def __init__(
@@ -143,107 +274,87 @@ class HeterogeneousFiniteEnv:
         spec: ServerClassSpec,
         arrival_process: MarkovModulatedRate | None = None,
         infinite_clients: bool = False,
+        per_packet_randomization: bool = False,
         seed=None,
     ) -> None:
-        self.config = config
-        self.spec = spec
-        self.arrivals = (
-            arrival_process
-            if arrival_process is not None
-            else MarkovModulatedRate.from_config(config)
+        self._core = BatchedHeterogeneousFiniteEnv(
+            config,
+            spec,
+            num_replicas=1,
+            arrival_process=arrival_process,
+            infinite_clients=infinite_clients,
+            per_packet_randomization=per_packet_randomization,
+            seed=seed,
         )
-        self.infinite_clients = infinite_clients
-        self.classes = spec.assign_classes(config.num_queues)
-        self.service_rates = np.asarray(spec.service_rates)[self.classes]
-        self._rng = as_generator(seed)
-        self._fillings: np.ndarray | None = None
-        self._lam_mode = 0
-        self._t = 0
+
+    # -- configuration access -------------------------------------------
+    @property
+    def config(self) -> SystemConfig:
+        return self._core.config
+
+    @property
+    def spec(self) -> ServerClassSpec:
+        return self._core.spec
+
+    @property
+    def arrivals(self) -> MarkovModulatedRate:
+        return self._core.arrivals
+
+    @property
+    def classes(self) -> np.ndarray:
+        return self._core.classes
+
+    @property
+    def service_rates(self) -> np.ndarray:
+        return self._core.service_rates
+
+    @property
+    def infinite_clients(self) -> bool:
+        return self._core.infinite_clients
+
+    @property
+    def batched_core(self) -> BatchedHeterogeneousFiniteEnv:
+        """The underlying ``E = 1`` batched environment."""
+        return self._core
 
     @property
     def num_observed_states(self) -> int:
-        return self.spec.num_observed_states(self.config.buffer_size)
+        return self._core.num_observed_states
 
+    # -- state access ---------------------------------------------------
     @property
     def queue_fillings(self) -> np.ndarray:
-        if self._fillings is None:
-            raise RuntimeError("environment must be reset before use")
-        return self._fillings.copy()
+        return self._core.queue_states[0]
 
     @property
     def lam_mode(self) -> int:
-        return self._lam_mode
+        return int(self._core.lam_modes[0])
 
     @property
     def current_rate(self) -> float:
-        return self.arrivals.rate(self._lam_mode)
+        return float(self._core.current_rates[0])
 
     def observed_states(self) -> np.ndarray:
-        if self._fillings is None:
-            raise RuntimeError("environment must be reset before use")
-        return self.spec.encode(self._fillings, self.classes)
+        return self._core.observed_states()[0]
 
     def empirical_distribution(self) -> np.ndarray:
         """Distribution over the flat ``Z × C`` observed states."""
-        counts = np.bincount(
-            self.observed_states(), minlength=self.num_observed_states
-        )
-        return counts.astype(np.float64) / self.config.num_queues
+        return self._core.empirical_distributions()[0]
 
     def reset(self, seed=None) -> np.ndarray:
-        if seed is not None:
-            self._rng = as_generator(seed)
-        self._fillings = np.full(
-            self.config.num_queues, self.config.initial_state, dtype=np.int64
-        )
-        self._lam_mode = self.arrivals.sample_initial_mode(self._rng)
-        self._t = 0
-        return self.empirical_distribution()
+        return self._core.reset(seed)[0]
 
     def step(self, rule: DecisionRule) -> tuple[np.ndarray, float, dict]:
-        if self._fillings is None:
-            raise RuntimeError("environment must be reset before use")
-        if rule.num_states != self.num_observed_states or rule.d != self.config.d:
-            raise ValueError(
-                "rule geometry does not match the heterogeneous system "
-                f"(expected S={self.num_observed_states}, d={self.config.d})"
-            )
-        observed = self.observed_states()
-        if self.infinite_clients:
-            rates = infinite_client_rates(observed, rule, self.current_rate)
-        else:
-            counts = client_choice_counts(
-                observed, self.config.num_clients, rule, self._rng
-            )
-            rates = (
-                self.config.num_queues
-                * self.current_rate
-                * counts.astype(np.float64)
-                / self.config.num_clients
-            )
-        new_fillings, drops = simulate_queues_epoch(
-            self._fillings,
-            rates,
-            self.service_rates,
-            self.config.delta_t,
-            self.config.buffer_size,
-            self._rng,
-        )
-        total = int(drops.sum())
-        per_queue = total / self.config.num_queues
-        self._fillings = new_fillings
-        self._lam_mode = self.arrivals.step_mode(self._lam_mode, self._rng)
-        self._t += 1
-        info = {
-            "drops_total": total,
-            "drops_per_queue": per_queue,
-            "arrival_rates": rates,
-            "t": self._t,
-        }
+        hists, rewards, info = self._core.step(rule)
         return (
-            self.empirical_distribution(),
-            -self.config.drop_penalty * per_queue,
-            info,
+            hists[0],
+            float(rewards[0]),
+            {
+                "drops_total": int(info["drops_total"][0]),
+                "drops_per_queue": float(info["drops_per_queue"][0]),
+                "arrival_rates": info["arrival_rates"][0],
+                "t": info["t"],
+            },
         )
 
     def run_episode(self, rule: DecisionRule, num_epochs: int, seed=None) -> float:

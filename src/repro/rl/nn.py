@@ -19,10 +19,25 @@ from repro.utils.rng import as_generator
 
 __all__ = ["MLP", "GaussianPolicyNetwork", "ValueNetwork"]
 
+# Module-level named functions (not lambdas) so that networks — and the
+# policies wrapping them — stay picklable across process boundaries
+# (the sharded sweep executor ships policies to worker processes).
+def _tanh_grad(y: np.ndarray) -> np.ndarray:
+    # Derivative expressed through the activation output: 1 - tanh².
+    return 1.0 - y**2
+
+
+def _relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def _relu_grad(y: np.ndarray) -> np.ndarray:
+    return (y > 0).astype(y.dtype)
+
+
 _ACTIVATIONS = {
-    "tanh": (np.tanh, lambda y: 1.0 - y**2),
-    # ReLU derivative expressed through the activation output (y > 0).
-    "relu": (lambda x: np.maximum(x, 0.0), lambda y: (y > 0).astype(y.dtype)),
+    "tanh": (np.tanh, _tanh_grad),
+    "relu": (_relu, _relu_grad),
 }
 
 

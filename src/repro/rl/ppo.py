@@ -27,7 +27,7 @@ from repro.config import PPOConfig
 from repro.rl.distributions import DiagGaussian
 from repro.rl.nn import GaussianPolicyNetwork, ValueNetwork
 from repro.rl.optim import Adam, clip_grads_by_global_norm
-from repro.rl.rollout import RolloutBatch, RolloutCollector
+from repro.rl.rollout import RolloutCollector
 from repro.rl.vector_rollout import VectorRolloutCollector
 from repro.utils.rng import as_generator
 

@@ -1,0 +1,28 @@
+"""Scenario registry: named workloads for the sweep orchestrator.
+
+Importing this package registers the built-in catalogue
+(``paper-baseline``, ``heterogeneous-sed``, ``bursty-mmpp``,
+``overload``); :func:`run_scenario` executes any registered name through
+the sharded :class:`repro.experiments.parallel.SweepExecutor`. See
+``docs/scaling.md`` for the catalogue table and worker guidance.
+"""
+
+from repro.scenarios import builtin as _builtin  # noqa: F401  (registers the catalogue)
+from repro.scenarios.registry import (
+    ScenarioSpec,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+    scenario_summaries,
+)
+from repro.scenarios.run import ScenarioSweepResult, run_scenario
+
+__all__ = [
+    "ScenarioSpec",
+    "ScenarioSweepResult",
+    "available_scenarios",
+    "get_scenario",
+    "register_scenario",
+    "run_scenario",
+    "scenario_summaries",
+]

@@ -1,0 +1,143 @@
+"""Run a registered scenario through the sharded sweep orchestrator.
+
+:func:`run_scenario` expands a :class:`repro.scenarios.registry.ScenarioSpec`
+into one :class:`repro.experiments.parallel.EvalRequest` per
+``(Δt, policy)`` cell and executes the whole grid on a single
+:class:`repro.experiments.parallel.SweepExecutor`, so every replica
+chunk of every sweep point competes for the same worker pool — the
+per-cell statistics are bit-identical for any worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.experiments.parallel import EvalRequest, SweepExecutor
+from repro.scenarios.registry import ScenarioSpec, get_scenario
+from repro.utils.tables import format_table, series_to_csv
+
+if TYPE_CHECKING:
+    from repro.experiments.runner import MonteCarloResult
+
+__all__ = ["ScenarioSweepResult", "run_scenario"]
+
+
+@dataclass
+class ScenarioSweepResult:
+    """One scenario sweep: drops per ``(Δt, policy)`` with 95% CIs."""
+
+    scenario: str
+    num_queues: int
+    num_clients: int
+    delta_ts: tuple[float, ...]
+    results: "dict[str, list[MonteCarloResult]]"  # policy name -> per-Δt
+    workers: int
+
+    def mean_series(self, policy_name: str) -> np.ndarray:
+        return np.asarray([r.mean_drops for r in self.results[policy_name]])
+
+    def winner_at(self, delta_t: float) -> str:
+        idx = self.delta_ts.index(delta_t)
+        return min(
+            self.results, key=lambda name: self.results[name][idx].mean_drops
+        )
+
+    def to_csv(self) -> str:
+        headers = ["delta_t"]
+        for name in self.results:
+            headers += [f"{name}_mean", f"{name}_lo", f"{name}_hi"]
+        rows = []
+        for i, dt in enumerate(self.delta_ts):
+            row: list[object] = [dt]
+            for name in self.results:
+                r = self.results[name][i]
+                row += [r.mean_drops, r.interval.lower, r.interval.upper]
+            rows.append(row)
+        return series_to_csv(headers, rows)
+
+    def format_table(self) -> str:
+        headers = ["Δt", *self.results.keys(), "winner"]
+        rows = []
+        for i, dt in enumerate(self.delta_ts):
+            row: list[object] = [dt]
+            for name in self.results:
+                r = self.results[name][i]
+                row.append(f"{r.mean_drops:.3g}±{r.interval.half_width:.2g}")
+            row.append(self.winner_at(dt))
+            rows.append(row)
+        return format_table(
+            headers,
+            rows,
+            title=(
+                f"Scenario {self.scenario} — M={self.num_queues}, "
+                f"N={self.num_clients}, total per-queue drops "
+                f"(workers={self.workers})"
+            ),
+        )
+
+
+def run_scenario(
+    name: str,
+    delta_ts: tuple[float, ...] | None = None,
+    num_queues: int | None = None,
+    num_runs: int | None = None,
+    workers: int = 1,
+    seed: int = 0,
+) -> ScenarioSweepResult:
+    """Evaluate one registered scenario over its delay grid.
+
+    Grid arguments default to the spec's frozen values; ``workers``
+    selects the process count of the shared :class:`SweepExecutor`
+    (``1`` = in-process) and never changes the merged statistics.
+    """
+    spec: ScenarioSpec = get_scenario(name)
+    grid = tuple(delta_ts) if delta_ts else spec.delta_ts
+    runs = int(num_runs) if num_runs is not None else spec.num_runs
+
+    requests: list[EvalRequest] = []
+    cells: list[tuple[float, str]] = []
+    for dt in grid:
+        config = spec.config_for(dt, num_queues=num_queues)
+        policies = spec.build_policies(config)
+        env_kwargs = spec.env_kwargs_for(config)
+        for policy_name, policy in policies.items():
+            requests.append(
+                EvalRequest(
+                    config=config,
+                    policy=policy,
+                    num_runs=runs,
+                    num_epochs=config.resolved_eval_length(),
+                    seed=seed,
+                    backend="batched",
+                    max_batch_replicas=spec.max_batch_replicas,
+                    env_cls=spec.env_cls,
+                    env_kwargs=env_kwargs,
+                )
+            )
+            cells.append((dt, policy_name))
+
+    executor = SweepExecutor(workers=workers)
+    merged = executor.run(requests)
+
+    results: "dict[str, list[MonteCarloResult]]" = {}
+    for (_dt, policy_name), result in zip(cells, merged):
+        results.setdefault(policy_name, []).append(result)
+    lengths = {name: len(series) for name, series in results.items()}
+    if any(length != len(grid) for length in lengths.values()):
+        raise RuntimeError(
+            "policy suite changed across the delay grid: "
+            f"{lengths} vs {len(grid)} sweep points"
+        )
+
+    reference = spec.config_for(grid[0], num_queues=num_queues)
+    return ScenarioSweepResult(
+        scenario=name,
+        num_queues=reference.num_queues,
+        num_clients=reference.num_clients,
+        delta_ts=grid,
+        results=results,
+        workers=executor.workers,
+    )

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.config import SystemConfig
 from repro.queueing.arrivals import MarkovModulatedRate, ScriptedRate
 
 

@@ -25,6 +25,29 @@ class TestParser:
         args = build_parser().parse_args(["fig4", "--m-grid", "10,20"])
         assert args.m_grid == (10, 20)
 
+    def test_workers_flag_on_sweep_commands(self):
+        for command in ("fig4", "fig5", "fig6"):
+            args = build_parser().parse_args([command, "--workers", "4"])
+            assert args.workers == 4
+        assert build_parser().parse_args(["fig5"]).workers == 1
+
+    def test_scenario_parsing(self):
+        args = build_parser().parse_args(
+            [
+                "scenario", "heterogeneous-sed",
+                "--workers", "4",
+                "--delta-ts", "3,7",
+                "--queues", "20",
+                "--runs", "2",
+            ]
+        )
+        assert args.command == "scenario"
+        assert args.name == "heterogeneous-sed"
+        assert args.workers == 4
+        assert args.delta_ts == (3.0, 7.0)
+        assert args.queues == 20
+        assert args.runs == 2
+
 
 class TestExecution:
     def test_table1_prints(self, capsys):
@@ -60,3 +83,31 @@ class TestExecution:
         )
         assert code == 0
         assert "Figure 5" in capsys.readouterr().out
+
+    def test_scenario_list(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("paper-baseline", "heterogeneous-sed", "bursty-mmpp",
+                     "overload"):
+            assert name in out
+
+    def test_scenario_tiny_run_with_workers_and_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "scenario.csv"
+        code = main(
+            [
+                "scenario", "overload",
+                "--delta-ts", "5",
+                "--queues", "10",
+                "--runs", "2",
+                "--workers", "2",
+                "--csv", str(csv_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Scenario overload" in out
+        assert csv_path.read_text().startswith("delta_t,")
+
+    def test_scenario_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="available"):
+            main(["scenario", "definitely-not-registered"])

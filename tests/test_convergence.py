@@ -9,7 +9,6 @@ from repro.meanfield.convergence import (
     trajectory_gap,
 )
 from repro.meanfield.discretization import epoch_update
-from repro.meanfield.decision_rule import DecisionRule
 from repro.policies.static import JoinShortestQueuePolicy, RandomPolicy
 
 

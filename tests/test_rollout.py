@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.rl.nn import GaussianPolicyNetwork, ValueNetwork
-from repro.rl.rollout import RolloutBatch, RolloutCollector
+from repro.rl.rollout import RolloutCollector
 
 
 class CountingEnv:
