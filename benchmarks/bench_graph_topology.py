@@ -1,0 +1,227 @@
+#!/usr/bin/env python3
+"""Sparse-topology backend: full-mesh equivalence and per-topology cost.
+
+Two properties of :class:`repro.queueing.graph_env.BatchedGraphFiniteEnv`
+are checked and timed on a Figure-5-style workload (``M = 100`` queues,
+``N = 4M`` clients, JSQ(2), per-packet randomization, 16 lock-step
+replicas):
+
+* **equivalence** — on a full-mesh topology the graph environment is
+  *bit-identical* to the dense :class:`BatchedFiniteSystemEnv` under a
+  shared seed (always asserted; the degenerate case costs only the
+  identity neighbor gather, and the measured overhead is reported);
+* **locality cost/effect** — ring, torus and random-regular
+  neighborhoods are simulated at the same scale, reporting wall-clock
+  per epoch and mean drops per topology. Under stale information mild
+  locality can even *reduce* drops (neighborhood sampling dampens the
+  herding of delayed JSQ), so the check is a sanity band — sparse drops
+  stay within a factor of the full mesh — not a monotonicity claim.
+
+A machine-readable summary lands in ``BENCH_graph_topology.json`` (CI
+uploads it as an artifact per commit).
+
+Runs standalone or under pytest-benchmark:
+
+    PYTHONPATH=src python benchmarks/bench_graph_topology.py [--quick]
+    PYTHONPATH=src python -m pytest benchmarks/bench_graph_topology.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import paper_system_config
+from repro.policies.static import JoinShortestQueuePolicy
+from repro.queueing.batched_env import (
+    BatchedFiniteSystemEnv,
+    run_episodes_batched,
+)
+from repro.queueing.graph_env import BatchedGraphFiniteEnv
+from repro.queueing.topology import TopologySpec
+from repro.utils.tables import format_table
+
+DEFAULT_JSON = Path("BENCH_graph_topology.json")
+# The full mesh must not cost more than this factor over the dense
+# backend: the only extra work is the identity neighbor gather.
+MAX_MESH_OVERHEAD = 1.5
+
+
+def _topologies(num_queues: int) -> dict[str, TopologySpec]:
+    return {
+        "full-mesh": TopologySpec.full_mesh(num_queues),
+        "ring(r=2)": TopologySpec.ring(num_queues, radius=2),
+        "torus(r=1)": TopologySpec.torus(num_queues, radius=1),
+        "random-regular(4)": TopologySpec.random_regular(
+            num_queues, degree=4, seed=0
+        ),
+    }
+
+
+def _run(env, policy, num_epochs: int, seed: int):
+    start = time.perf_counter()
+    result = run_episodes_batched(env, policy, num_epochs=num_epochs, seed=seed)
+    return result, time.perf_counter() - start
+
+
+def run_bench(
+    quick: bool = False, seed: int = 0, json_path: Path | None = DEFAULT_JSON
+) -> dict:
+    num_queues = 36 if quick else 100
+    num_replicas = 4 if quick else 16
+    num_epochs = 20 if quick else 100
+    config = paper_system_config(
+        delta_t=5.0,
+        num_queues=num_queues,
+        num_clients=4 * num_queues,
+    )
+    policy = JoinShortestQueuePolicy(config.num_queue_states, config.d)
+
+    dense = BatchedFiniteSystemEnv(
+        config, num_replicas=num_replicas,
+        per_packet_randomization=True, seed=seed,
+    )
+    dense_result, t_dense = _run(dense, policy, num_epochs, seed)
+
+    rows = [
+        [
+            "dense (baseline)",
+            "-",
+            f"{t_dense:.3f}",
+            f"{dense_result.mean_total_drops:.2f}",
+            "-",
+        ]
+    ]
+    per_topology: dict[str, dict] = {}
+    mesh_identical = False
+    mesh_overhead = float("nan")
+    for label, topology in _topologies(num_queues).items():
+        env = BatchedGraphFiniteEnv(
+            config, topology, num_replicas=num_replicas,
+            per_packet_randomization=True, seed=seed,
+        )
+        result, elapsed = _run(env, policy, num_epochs, seed)
+        if label == "full-mesh":
+            mesh_identical = bool(
+                np.array_equal(
+                    result.per_epoch_drops, dense_result.per_epoch_drops
+                )
+            )
+            mesh_overhead = elapsed / max(t_dense, 1e-9)
+            note = "bit-identical" if mesh_identical else "DIVERGED"
+        else:
+            note = "-"
+        per_topology[label] = {
+            "degree": topology.degree,
+            "num_dispatchers": topology.num_dispatchers,
+            "wall_clock_s": round(elapsed, 4),
+            "mean_total_drops": round(float(result.mean_total_drops), 4),
+            "neighbor_array_bytes": topology.memory_bytes(),
+        }
+        rows.append(
+            [
+                label,
+                f"{topology.degree}",
+                f"{elapsed:.3f}",
+                f"{result.mean_total_drops:.2f}",
+                note,
+            ]
+        )
+
+    print(
+        format_table(
+            ["topology", "degree", "wall-clock (s)", "mean drops", "check"],
+            rows,
+            title=(
+                f"Sparse-topology backend — M={num_queues}, "
+                f"N={4 * num_queues}, E={num_replicas}, T={num_epochs}, "
+                "JSQ(2)"
+            ),
+        )
+    )
+    print(
+        f"\nfull-mesh graph env overhead vs dense: {mesh_overhead:.2f}x "
+        f"(gather-only; bit-identical={mesh_identical})"
+    )
+
+    stats = {
+        "benchmark": "graph_topology",
+        "mode": "quick" if quick else "full",
+        "scale": {
+            "num_queues": num_queues,
+            "num_clients": 4 * num_queues,
+            "num_replicas": num_replicas,
+            "num_epochs": num_epochs,
+            "delta_t": 5.0,
+        },
+        "dense_wall_clock_s": round(t_dense, 4),
+        "dense_mean_total_drops": round(
+            float(dense_result.mean_total_drops), 4
+        ),
+        "full_mesh_bit_identical": mesh_identical,
+        "full_mesh_overhead": round(mesh_overhead, 3),
+        "topologies": per_topology,
+    }
+    if json_path is not None:
+        json_path.write_text(json.dumps(stats, indent=2) + "\n")
+        print(f"[json written to {json_path}]")
+
+    assert mesh_identical, (
+        "full-mesh graph simulation diverged from the dense backend"
+    )
+    if not quick:
+        assert mesh_overhead <= MAX_MESH_OVERHEAD, (
+            f"full-mesh graph env {mesh_overhead:.2f}x slower than dense "
+            f"(expected <= {MAX_MESH_OVERHEAD}x: the gather is the only "
+            "extra work)"
+        )
+        # Sanity band: locality shifts drops both ways (less herding,
+        # fewer choices) but never by an implausible margin.
+        mesh_drops = per_topology["full-mesh"]["mean_total_drops"]
+        for label, entry in per_topology.items():
+            if label == "full-mesh":
+                continue
+            assert entry["mean_total_drops"] >= 0.5 * mesh_drops, (
+                f"{label} implausibly beats the full mesh "
+                f"({entry['mean_total_drops']} vs {mesh_drops})"
+            )
+    return stats
+
+
+def test_graph_topology(benchmark, results_dir):
+    """pytest-benchmark entry point (full run)."""
+    from conftest import run_once
+
+    stats = run_once(benchmark, run_bench, quick=False)
+    (results_dir / "graph_topology.txt").write_text(
+        f"full_mesh_bit_identical={stats['full_mesh_bit_identical']} "
+        f"overhead={stats['full_mesh_overhead']:.2f}x\n"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small grid, equivalence check only (CI smoke)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=DEFAULT_JSON,
+        help=f"machine-readable output path (default {DEFAULT_JSON})",
+    )
+    args = parser.parse_args(argv)
+    run_bench(quick=args.quick, seed=args.seed, json_path=args.json)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,11 +35,43 @@ __all__ = ["main", "build_parser"]
 
 
 def _parse_floats(text: str) -> tuple[float, ...]:
-    return tuple(float(x) for x in text.split(",") if x.strip())
+    try:
+        values = tuple(float(x) for x in text.split(",") if x.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a comma-separated list of numbers, got {text!r}"
+        ) from None
+    if not values:
+        raise argparse.ArgumentTypeError(
+            f"expected at least one value, got {text!r}"
+        )
+    return values
 
 
 def _parse_ints(text: str) -> tuple[int, ...]:
-    return tuple(int(x) for x in text.split(",") if x.strip())
+    try:
+        values = tuple(int(x) for x in text.split(",") if x.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a comma-separated list of integers, got {text!r}"
+        ) from None
+    if not values:
+        raise argparse.ArgumentTypeError(
+            f"expected at least one value, got {text!r}"
+        )
+    return values
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -101,11 +133,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the scenario's delay grid",
     )
     ps.add_argument(
-        "--queues", type=int, default=None,
+        "--queues", type=_positive_int, default=None,
         help="override M (N follows the scenario's client rule)",
     )
     ps.add_argument(
-        "--runs", type=int, default=None,
+        "--runs", type=_positive_int, default=None,
         help="override the Monte-Carlo replica count",
     )
     ps.add_argument("--seed", type=int, default=0)
@@ -116,7 +148,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _add_workers_flag(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
-        "--workers", type=int, default=1,
+        "--workers", type=_positive_int, default=1,
         help="process count for the sharded sweep (1 = in-process; "
         "results are identical for any value)",
     )
@@ -131,7 +163,8 @@ def _emit(text: str, result, csv_path: Path | None) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.command == "table1":
         print(render_table1())
     elif args.command == "table2":
@@ -176,6 +209,23 @@ def main(argv: list[str] | None = None) -> int:
         from repro.utils.tables import format_table
 
         if args.name == "list":
+            conflicting = [
+                flag
+                for flag, value in (
+                    ("--delta-ts", args.delta_ts),
+                    ("--queues", args.queues),
+                    ("--runs", args.runs),
+                    ("--csv", args.csv),
+                )
+                if value is not None
+            ]
+            if args.workers != 1:
+                conflicting.append("--workers")
+            if conflicting:
+                parser.error(
+                    "'scenario list' prints the catalogue and takes no "
+                    f"sweep options (got {', '.join(conflicting)})"
+                )
             print(
                 format_table(
                     ["scenario", "ρ", "default grid", "description"],
@@ -184,14 +234,24 @@ def main(argv: list[str] | None = None) -> int:
                 )
             )
         else:
-            result = run_scenario(
-                args.name,
-                delta_ts=args.delta_ts,
-                num_queues=args.queues,
-                num_runs=args.runs,
-                workers=args.workers,
-                seed=args.seed,
-            )
+            try:
+                result = run_scenario(
+                    args.name,
+                    delta_ts=args.delta_ts,
+                    num_queues=args.queues,
+                    num_runs=args.runs,
+                    workers=args.workers,
+                    seed=args.seed,
+                )
+            except KeyError as exc:
+                # Unknown scenario: a usage error, not a traceback. The
+                # registry's message already lists the available names.
+                print(f"error: {exc.args[0]}", file=sys.stderr)
+                print(
+                    "hint: 'scenario list' prints the catalogue",
+                    file=sys.stderr,
+                )
+                return 2
             _emit(result.format_table(), result, args.csv)
     else:  # pragma: no cover - argparse enforces choices
         raise AssertionError(f"unhandled command {args.command!r}")

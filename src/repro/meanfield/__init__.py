@@ -34,8 +34,22 @@ from repro.meanfield.convergence import (
     mean_field_trajectory,
     trajectory_gap,
 )
+from repro.meanfield.local import (
+    LocalMeanFieldTrajectory,
+    local_arrival_rates,
+    local_epoch_update,
+    local_mean_field_trajectory,
+    neighborhood_mixtures,
+    observed_distributions,
+)
 
 __all__ = [
+    "LocalMeanFieldTrajectory",
+    "local_arrival_rates",
+    "local_epoch_update",
+    "local_mean_field_trajectory",
+    "neighborhood_mixtures",
+    "observed_distributions",
     "DecisionRule",
     "ExactPropagator",
     "TabulatedPropagator",

@@ -29,8 +29,12 @@ from repro.queueing.heterogeneous import (
     HeterogeneousFiniteEnv,
     ServerClassSpec,
 )
+from repro.queueing.topology import TopologySpec
+from repro.queueing.graph_env import BatchedGraphFiniteEnv
 
 __all__ = [
+    "TopologySpec",
+    "BatchedGraphFiniteEnv",
     "BatchedHeterogeneousFiniteEnv",
     "HeterogeneousFiniteEnv",
     "ServerClassSpec",

@@ -305,13 +305,13 @@ def run_episodes_batched(
     env.reset(seed)
     e = env.num_replicas
     drops = np.empty((e, steps))
-    dists = (
-        np.empty((e, steps + 1, env.config.num_queue_states))
-        if record_distributions
-        else None
-    )
-    if dists is not None:
-        dists[:, 0] = env.empirical_distributions()
+    dists = None
+    if record_distributions:
+        # Width follows the environment, not the config: heterogeneous
+        # envs distribute over the Z x C observed states, not Z.
+        initial = env.empirical_distributions()
+        dists = np.empty((e, steps + 1, initial.shape[1]))
+        dists[:, 0] = initial
     for t in range(steps):
         _, _, info = env.step_with_policy(policy)
         drops[:, t] = info["drops_per_queue"]

@@ -1,0 +1,239 @@
+"""Batched finite-system simulation on sparse dispatcher→server graphs.
+
+:class:`BatchedGraphFiniteEnv` is the locality-constrained counterpart
+of :class:`repro.queueing.batched_env.BatchedFiniteSystemEnv`: every
+client lives at a dispatcher node of a
+:class:`repro.queueing.topology.TopologySpec` and samples its ``d``
+queues uniformly *from that node's neighborhood* instead of from all
+``M`` queues (the setting of arXiv:2312.12973). Everything else —
+decision rules on the sampled states, frozen per-queue Poisson rates,
+the lock-step uniformization kernel, per-replica arrival-mode chains —
+is inherited unchanged from the dense batched machinery.
+
+The hot path stays a vectorized NumPy gather: clients draw *slot*
+indices ``u ~ Unif{0..degree-1}`` in one ``(E, N, d)`` call and the
+sampled queue indices are one flat ``take`` into the precomputed
+``(num_dispatchers, degree)`` neighbor array. No per-node Python loops.
+
+Determinism contract: on a full-mesh topology the slot draw is
+``rng.integers(0, M, size=(E, N, d))`` — the *same call with the same
+arguments* the dense backend makes — and the identity neighbor gather
+maps slots to themselves, so a full-mesh graph simulation is
+bit-identical to :class:`BatchedFiniteSystemEnv` under a shared seed
+(property-tested in ``tests/test_properties.py``). Environments are
+plain NumPy-holding objects and pickle through the multiprocess
+:class:`repro.experiments.parallel.SweepExecutor` unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.queueing.arrivals import MarkovModulatedRate
+from repro.queueing.batched_env import _BatchedQueueSystemBase, RulesLike
+from repro.queueing.clients import (
+    _batched_rule_rows,
+    _batched_sample_slots,
+    stack_rules,
+)
+from repro.queueing.topology import TopologySpec
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "BatchedGraphFiniteEnv",
+    "sample_neighborhood_choices_batched",
+    "neighborhood_choice_counts_batched",
+    "neighborhood_rate_fractions_batched",
+]
+
+
+def _sample_queue_indices(
+    topology: TopologySpec,
+    dispatcher_offsets: np.ndarray,
+    num_replicas: int,
+    d: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Neighborhood-restricted queue samples, shape ``(E, N, d)``.
+
+    ``dispatcher_offsets`` is ``client_dispatchers(N) * degree`` — the
+    per-client row offsets into the flattened neighbor array. The slot
+    draw is the single ``rng.integers`` call of the dense backend with
+    ``M`` replaced by ``degree``; for a full mesh (one dispatcher, the
+    identity neighborhood) the gather returns the slots themselves, so
+    the stream *and* the values match the dense path exactly.
+    """
+    slots = rng.integers(
+        0, topology.degree, size=(num_replicas, dispatcher_offsets.size, d)
+    )
+    return topology.neighbors.take(
+        (slots + dispatcher_offsets[None, :, None]).ravel()
+    ).reshape(slots.shape)
+
+
+def sample_neighborhood_choices_batched(
+    queue_states: np.ndarray,
+    topology: TopologySpec,
+    num_clients: int,
+    rules: RulesLike,
+    rng=None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Graph-restricted analogue of
+    :func:`repro.queueing.clients.sample_client_choices_batched`.
+
+    Returns ``(sampled, slots, committed)`` shaped ``(E, N, d)`` /
+    ``(E, N)`` / ``(E, N)`` where every client's ``d`` samples come from
+    its dispatcher's neighborhood.
+    """
+    rng = as_generator(rng)
+    queue_states = np.asarray(queue_states)
+    if queue_states.ndim != 2:
+        raise ValueError("queue_states must have shape (replicas, queues)")
+    e, m = queue_states.shape
+    if m != topology.num_queues:
+        raise ValueError(
+            f"topology covers {topology.num_queues} queues, states have {m}"
+        )
+    if num_clients < 1:
+        raise ValueError("num_clients must be >= 1")
+    probs = stack_rules(rules, e)
+    d = probs.ndim - 2
+    offsets = topology.client_dispatchers(num_clients) * topology.degree
+    sampled = _sample_queue_indices(topology, offsets, e, d, rng)
+    replica_offsets = (np.arange(e, dtype=sampled.dtype) * m)[:, None, None]
+    zbar = queue_states.take(
+        (sampled + replica_offsets).ravel()
+    ).reshape(sampled.shape)
+    rows = _batched_rule_rows(probs, zbar)
+    slots = _batched_sample_slots(rows, rng)
+    committed = np.take_along_axis(sampled, slots[..., None], axis=-1)[..., 0]
+    return sampled, slots, committed
+
+
+def neighborhood_choice_counts_batched(
+    queue_states: np.ndarray,
+    topology: TopologySpec,
+    num_clients: int,
+    rules: RulesLike,
+    rng=None,
+) -> np.ndarray:
+    """Per-replica committed-client counts on the graph, shape ``(E, M)``."""
+    queue_states = np.asarray(queue_states)
+    _, _, committed = sample_neighborhood_choices_batched(
+        queue_states, topology, num_clients, rules, rng
+    )
+    e, m = queue_states.shape
+    offsets = np.arange(e, dtype=committed.dtype)[:, None] * m
+    return np.bincount(
+        (committed + offsets).ravel(), minlength=e * m
+    ).reshape(e, m)
+
+
+def neighborhood_rate_fractions_batched(
+    queue_states: np.ndarray,
+    topology: TopologySpec,
+    num_clients: int,
+    rules: RulesLike,
+    rng=None,
+) -> np.ndarray:
+    """Per-replica arrival-rate fractions under per-packet randomization.
+
+    The graph-restricted analogue of
+    :func:`repro.queueing.clients.per_packet_rate_fractions_batched`:
+    every packet re-samples its slot, so queue ``j`` accumulates the
+    routing probabilities of every client slot that sampled it. Rows sum
+    to 1.
+    """
+    rng = as_generator(rng)
+    queue_states = np.asarray(queue_states)
+    if queue_states.ndim != 2:
+        raise ValueError("queue_states must have shape (replicas, queues)")
+    e, m = queue_states.shape
+    if m != topology.num_queues:
+        raise ValueError(
+            f"topology covers {topology.num_queues} queues, states have {m}"
+        )
+    if num_clients < 1:
+        raise ValueError("num_clients must be >= 1")
+    probs = stack_rules(rules, e)
+    d = probs.ndim - 2
+    offsets = topology.client_dispatchers(num_clients) * topology.degree
+    sampled = _sample_queue_indices(topology, offsets, e, d, rng)
+    replica_offsets = (np.arange(e, dtype=sampled.dtype) * m)[:, None, None]
+    flat = (sampled + replica_offsets).ravel()
+    zbar = queue_states.take(flat).reshape(sampled.shape)
+    rows = _batched_rule_rows(probs, zbar)
+    fractions = np.bincount(
+        flat, weights=rows.ravel(), minlength=e * m
+    ).reshape(e, m)
+    return fractions / num_clients
+
+
+class BatchedGraphFiniteEnv(_BatchedQueueSystemBase):
+    """``E`` replicas of the finite system on a sparse access graph.
+
+    Clients are assigned round-robin to the topology's dispatcher nodes
+    and sample their ``d`` queues from the node's neighborhood; queue
+    ``j`` then receives Poisson arrivals at the frozen rate
+    ``λ_j = M λ_t · count_j / N`` (committed-choice mode) or the
+    per-packet thinned analogue, exactly as in the dense system. Accepts
+    per-queue ``service_rates`` for heterogeneous-capacity variants
+    (arXiv:2012.10142) riding the same topology machinery.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        topology: TopologySpec,
+        num_replicas: int = 1,
+        arrival_process: MarkovModulatedRate | None = None,
+        service_rates: np.ndarray | None = None,
+        per_packet_randomization: bool = False,
+        seed=None,
+    ) -> None:
+        if topology.num_queues != config.num_queues:
+            raise ValueError(
+                f"topology covers {topology.num_queues} queues, config has "
+                f"{config.num_queues}"
+            )
+        unreachable = int((topology.in_degrees() == 0).sum())
+        if unreachable:
+            raise ValueError(
+                f"{unreachable} queue(s) are unreachable from every "
+                "dispatcher — they would idle forever"
+            )
+        super().__init__(
+            config,
+            num_replicas=num_replicas,
+            arrival_process=arrival_process,
+            service_rates=service_rates,
+            per_packet_randomization=per_packet_randomization,
+            seed=seed,
+        )
+        self.topology = topology
+
+    def _frozen_rates(self, rules: RulesLike) -> np.ndarray:
+        lam = self.current_rates[:, None]
+        if self.per_packet_randomization:
+            fractions = neighborhood_rate_fractions_batched(
+                self._states,
+                self.topology,
+                self.config.num_clients,
+                rules,
+                self._rng,
+            )
+            return self.config.num_queues * lam * fractions
+        counts = neighborhood_choice_counts_batched(
+            self._states,
+            self.topology,
+            self.config.num_clients,
+            rules,
+            self._rng,
+        )
+        return (
+            self.config.num_queues
+            * lam
+            * counts.astype(np.float64)
+            / self.config.num_clients
+        )

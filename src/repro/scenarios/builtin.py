@@ -1,6 +1,6 @@
 """The built-in scenario catalogue.
 
-Four workloads, registered on import:
+Eight workloads, registered on import:
 
 * ``paper-baseline`` — the paper's own Figure-5 setting: homogeneous
   servers, two-level Markov-modulated arrivals, MF vs JSQ(2) vs RND.
@@ -12,6 +12,13 @@ Four workloads, registered on import:
   process whose burst mode transiently overloads the system.
 * ``overload`` — sustained ``ρ > 1`` stress: drops are unavoidable and
   the question is how gracefully each policy degrades.
+* ``ring-local`` / ``torus-local`` / ``random-regular`` — sparse
+  dispatcher→server topologies (arXiv:2312.12973): clients only sample
+  queues from their node's neighborhood, simulated by
+  :class:`repro.queueing.graph_env.BatchedGraphFiniteEnv`.
+* ``sparse-heterogeneous`` — locality *and* two server speed classes on
+  a random regular graph (the heterogeneous-capacity variant of
+  arXiv:2012.10142 on the sparse access structure).
 
 Default grids are bench scale (a laptop regenerates any scenario in
 minutes); pass ``--queues`` / ``--runs`` / ``--delta-ts`` for
@@ -20,17 +27,25 @@ paper-scale sweeps.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.config import SystemConfig, paper_system_config
 from repro.queueing.arrivals import MarkovModulatedRate
+from repro.queueing.graph_env import BatchedGraphFiniteEnv
 from repro.queueing.heterogeneous import (
     BatchedHeterogeneousFiniteEnv,
     ServerClassSpec,
     sed_policy_suite,
 )
+from repro.queueing.topology import TopologySpec, near_square_factors
 from repro.scenarios.registry import ScenarioSpec, register_scenario
 
 __all__ = [
     "HETEROGENEOUS_SPEC",
+    "RING_RADIUS",
+    "TORUS_RADIUS",
+    "RANDOM_REGULAR_DEGREE",
+    "TOPOLOGY_SEED",
     "bursty_arrival_process",
 ]
 
@@ -108,6 +123,64 @@ def _paper_env_kwargs(config: SystemConfig) -> dict:
     return {"per_packet_randomization": True}
 
 
+#: Sparse-topology knobs shared by the graph scenarios. Fixed here so a
+#: scenario name always denotes the same access graph at a given M.
+RING_RADIUS = 2  # degree 5
+TORUS_RADIUS = 1  # Moore neighborhood, degree 9
+RANDOM_REGULAR_DEGREE = 4
+TOPOLOGY_SEED = 0  # graph draw is part of the scenario identity
+
+
+def _ring_env_kwargs(config: SystemConfig) -> dict:
+    # Clamp the radius so small --queues overrides stay valid (the
+    # neighborhood must not wrap past the whole cycle).
+    radius = min(RING_RADIUS, (config.num_queues - 1) // 2)
+    return {
+        "topology": TopologySpec.ring(config.num_queues, radius=radius),
+        "per_packet_randomization": True,
+    }
+
+
+def _torus_env_kwargs(config: SystemConfig) -> dict:
+    # Most square rows x cols factorization of the (possibly overridden)
+    # queue count, with per-axis radii clamped to each grid side so
+    # --queues works for primes and narrow factorizations too (a 2 x 5
+    # grid keeps its long-axis neighborhood instead of degenerating).
+    rows, cols = near_square_factors(config.num_queues)
+    radius = (
+        min(TORUS_RADIUS, (rows - 1) // 2),
+        min(TORUS_RADIUS, (cols - 1) // 2),
+    )
+    return {
+        "topology": TopologySpec.torus(rows, cols, radius=radius),
+        "per_packet_randomization": True,
+    }
+
+
+def _random_regular_env_kwargs(config: SystemConfig) -> dict:
+    return {
+        "topology": TopologySpec.random_regular(
+            config.num_queues,
+            degree=min(RANDOM_REGULAR_DEGREE, config.num_queues),
+            seed=TOPOLOGY_SEED,
+        ),
+        "per_packet_randomization": True,
+    }
+
+
+def _sparse_het_env_kwargs(config: SystemConfig) -> dict:
+    classes = HETEROGENEOUS_SPEC.assign_classes(config.num_queues)
+    return {
+        "topology": TopologySpec.random_regular(
+            config.num_queues,
+            degree=min(RANDOM_REGULAR_DEGREE, config.num_queues),
+            seed=TOPOLOGY_SEED,
+        ),
+        "service_rates": np.asarray(HETEROGENEOUS_SPEC.service_rates)[classes],
+        "per_packet_randomization": True,
+    }
+
+
 register_scenario(
     ScenarioSpec(
         name="paper-baseline",
@@ -172,5 +245,71 @@ register_scenario(
         build_policies=_static_policies,
         build_env_kwargs=_paper_env_kwargs,
         tags=("stress",),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="ring-local",
+        description=f"Ring topology, radius {RING_RADIUS}: rack-local routing",
+        base_config=paper_system_config(num_queues=100),
+        delta_ts=_DEFAULT_DELTA_TS,
+        num_runs=5,
+        build_policies=_static_policies,
+        env_cls=BatchedGraphFiniteEnv,
+        build_env_kwargs=_ring_env_kwargs,
+        tags=("topology", "related-work"),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="torus-local",
+        description=(
+            f"Torus grid, Moore radius {TORUS_RADIUS}: 2-D local routing"
+        ),
+        base_config=paper_system_config(num_queues=100),
+        delta_ts=_DEFAULT_DELTA_TS,
+        num_runs=5,
+        build_policies=_static_policies,
+        env_cls=BatchedGraphFiniteEnv,
+        build_env_kwargs=_torus_env_kwargs,
+        tags=("topology", "related-work"),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="random-regular",
+        description=(
+            f"Random {RANDOM_REGULAR_DEGREE}-regular access graph "
+            "(seeded draw)"
+        ),
+        base_config=paper_system_config(num_queues=100),
+        delta_ts=_DEFAULT_DELTA_TS,
+        num_runs=5,
+        build_policies=_static_policies,
+        env_cls=BatchedGraphFiniteEnv,
+        build_env_kwargs=_random_regular_env_kwargs,
+        tags=("topology", "related-work"),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="sparse-heterogeneous",
+        description=(
+            "Random regular graph + two server speed classes "
+            "(class-blind routing)"
+        ),
+        base_config=paper_system_config(num_queues=100).with_updates(
+            service_rate=HETEROGENEOUS_SPEC.mean_service_rate()
+        ),
+        delta_ts=_DEFAULT_DELTA_TS,
+        num_runs=5,
+        build_policies=_static_policies,
+        env_cls=BatchedGraphFiniteEnv,
+        build_env_kwargs=_sparse_het_env_kwargs,
+        tags=("topology", "heterogeneous", "related-work"),
     )
 )

@@ -88,8 +88,21 @@ class TestExecution:
         assert main(["scenario", "list"]) == 0
         out = capsys.readouterr().out
         for name in ("paper-baseline", "heterogeneous-sed", "bursty-mmpp",
-                     "overload"):
+                     "overload", "ring-local", "torus-local",
+                     "random-regular", "sparse-heterogeneous"):
             assert name in out
+
+    def test_graph_scenario_tiny_run(self, capsys):
+        code = main(
+            [
+                "scenario", "ring-local",
+                "--delta-ts", "5",
+                "--queues", "10",
+                "--runs", "2",
+            ]
+        )
+        assert code == 0
+        assert "Scenario ring-local" in capsys.readouterr().out
 
     def test_scenario_tiny_run_with_workers_and_csv(self, capsys, tmp_path):
         csv_path = tmp_path / "scenario.csv"
@@ -108,6 +121,54 @@ class TestExecution:
         assert "Scenario overload" in out
         assert csv_path.read_text().startswith("delta_t,")
 
-    def test_scenario_unknown_name_raises(self):
-        with pytest.raises(KeyError, match="available"):
-            main(["scenario", "definitely-not-registered"])
+    def test_scenario_unknown_name_exits_nonzero(self, capsys):
+        """Unknown scenarios are a usage error, not a bare traceback."""
+        assert main(["scenario", "definitely-not-registered"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario 'definitely-not-registered'" in err
+        assert "available" in err and "paper-baseline" in err
+        assert "scenario list" in err
+
+
+class TestErrorPaths:
+    """Bad flags exit non-zero with a pointed message, never a traceback."""
+
+    @pytest.mark.parametrize("value", ["0", "-3", "two"])
+    def test_bad_workers_rejected(self, value, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["scenario", "overload", "--workers", value])
+        assert exc.value.code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("command", ["fig4", "fig5", "fig6"])
+    def test_bad_workers_rejected_on_figures(self, command, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main([command, "--workers", "0"])
+        assert exc.value.code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flag", ["--queues", "--runs"])
+    def test_bad_scenario_overrides_rejected(self, flag, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["scenario", "overload", flag, "0"])
+        assert exc.value.code == 2
+        assert flag in capsys.readouterr().err
+
+    @pytest.mark.parametrize("value", ["", "1,abc"])
+    def test_bad_delta_ts_rejected(self, value, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["fig5", "--delta-ts", value])
+        assert exc.value.code == 2
+        assert "--delta-ts" in capsys.readouterr().err
+
+    def test_scenario_list_rejects_sweep_flags(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["scenario", "list", "--workers", "4"])
+        assert exc.value.code == 2
+        assert "takes no sweep options" in capsys.readouterr().err
+
+    def test_scenario_list_rejects_csv(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["scenario", "list", "--csv", str(tmp_path / "x.csv")])
+        assert exc.value.code == 2
+        assert "--csv" in capsys.readouterr().err

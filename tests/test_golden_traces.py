@@ -1,0 +1,163 @@
+"""Fixed-seed golden-trace regression tests.
+
+Every environment family pins one small fixed-seed reference trace
+(queue-length trajectories, per-epoch drops, arrival modes) plus one
+merged sweep-mean table to JSON files committed under ``tests/golden/``.
+The tests assert **exact** equality — JSON serializes floats via
+``repr`` (shortest round-trip), so a committed value survives the
+round-trip bit-for-bit — which makes any refactor of the hot path that
+silently changes the random streams fail loudly instead of drifting the
+paper's numbers.
+
+If a stream change is *intentional* (a new kernel, a different chunk
+layout), regenerate the references explicitly and re-commit them::
+
+    GOLDEN_REGEN=1 PYTHONPATH=src python -m pytest tests/test_golden_traces.py
+
+and call out the regeneration in the PR description.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig
+from repro.policies.static import JoinShortestQueuePolicy
+from repro.queueing.batched_env import (
+    BatchedFiniteSystemEnv,
+    run_episodes_batched,
+)
+from repro.queueing.graph_env import BatchedGraphFiniteEnv
+from repro.queueing.heterogeneous import (
+    BatchedHeterogeneousFiniteEnv,
+    ServerClassSpec,
+    sed_policy_suite,
+)
+from repro.queueing.topology import TopologySpec
+from repro.scenarios import run_scenario
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+REGEN = os.environ.get("GOLDEN_REGEN") == "1"
+
+_CONFIG = SystemConfig(
+    num_clients=120,
+    num_queues=12,
+    buffer_size=5,
+    d=2,
+    delta_t=2.0,
+    episode_length=20,
+    monte_carlo_runs=3,
+)
+_EPOCHS = 12
+_SEED = 20260731
+
+
+def _trace_payload(env, policy) -> dict:
+    """One deterministic episode as plain JSON-able lists."""
+    result = run_episodes_batched(
+        env, policy, num_epochs=_EPOCHS, seed=_SEED,
+        record_distributions=True,
+    )
+    return {
+        "queue_states": env.queue_states.tolist(),
+        "lam_modes": env.lam_modes.tolist(),
+        "per_epoch_drops": result.per_epoch_drops.tolist(),
+        "total_drops_per_queue": result.total_drops_per_queue.tolist(),
+        "empirical_distributions": result.empirical_distributions.tolist(),
+    }
+
+
+def _build_paper_trace() -> dict:
+    env = BatchedFiniteSystemEnv(
+        _CONFIG, num_replicas=2, per_packet_randomization=True, seed=_SEED
+    )
+    return _trace_payload(env, JoinShortestQueuePolicy(6, 2))
+
+
+def _build_heterogeneous_trace() -> dict:
+    spec = ServerClassSpec(service_rates=(0.5, 2.0), fractions=(0.5, 0.5))
+    env = BatchedHeterogeneousFiniteEnv(
+        _CONFIG, spec, num_replicas=2, per_packet_randomization=True,
+        seed=_SEED,
+    )
+    policy = sed_policy_suite(spec, _CONFIG.buffer_size, _CONFIG.d)["SED(2)"]
+    return _trace_payload(env, policy)
+
+
+def _build_graph_trace() -> dict:
+    env = BatchedGraphFiniteEnv(
+        _CONFIG,
+        TopologySpec.ring(_CONFIG.num_queues, radius=2),
+        num_replicas=2,
+        per_packet_randomization=True,
+        seed=_SEED,
+    )
+    return _trace_payload(env, JoinShortestQueuePolicy(6, 2))
+
+
+def _build_sweep_means() -> dict:
+    """Merged sweep means for one scenario per family (tiny grids)."""
+    payload = {}
+    for name in ("overload", "heterogeneous-sed", "random-regular"):
+        result = run_scenario(
+            name, delta_ts=(2.0, 5.0), num_queues=10, num_runs=2, seed=_SEED
+        )
+        payload[name] = {
+            policy: {
+                "means": [r.mean_drops for r in series],
+                "lower": [r.interval.lower for r in series],
+                "upper": [r.interval.upper for r in series],
+            }
+            for policy, series in result.results.items()
+        }
+    return payload
+
+
+_BUILDERS = {
+    "paper_family_trace.json": _build_paper_trace,
+    "heterogeneous_family_trace.json": _build_heterogeneous_trace,
+    "graph_family_trace.json": _build_graph_trace,
+    "sweep_means.json": _build_sweep_means,
+}
+
+
+@pytest.mark.parametrize("filename", sorted(_BUILDERS))
+def test_golden_trace_exact(filename):
+    """The simulated streams reproduce the committed references exactly."""
+    path = GOLDEN_DIR / filename
+    actual = _BUILDERS[filename]()
+    if REGEN:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(actual, indent=1, sort_keys=True) + "\n")
+    if not path.exists():
+        pytest.fail(
+            f"missing golden file {path.name}; regenerate with "
+            "GOLDEN_REGEN=1 and commit it"
+        )
+    expected = json.loads(path.read_text())
+    # Exact comparison, not approx: JSON floats round-trip bit-for-bit.
+    assert actual == expected, (
+        f"{filename} diverged from the committed reference — the random "
+        "stream or merge layout changed. If intentional, regenerate with "
+        "GOLDEN_REGEN=1 and commit the new trace."
+    )
+
+
+def test_golden_traces_are_nontrivial():
+    """Guard the references themselves: traces must contain activity
+    (occupied queues, at least one drop somewhere) so an all-zeros file
+    cannot silently pass the equality check."""
+    paper = json.loads((GOLDEN_DIR / "paper_family_trace.json").read_text())
+    assert np.asarray(paper["queue_states"]).max() > 0
+    assert np.asarray(paper["per_epoch_drops"]).shape == (2, _EPOCHS)
+    sweep = json.loads((GOLDEN_DIR / "sweep_means.json").read_text())
+    assert set(sweep) == {"overload", "heterogeneous-sed", "random-regular"}
+    overload_means = [
+        m for series in sweep["overload"].values() for m in series["means"]
+    ]
+    assert max(overload_means) > 0

@@ -175,3 +175,184 @@ def test_jsq_never_worse_than_join_longest(weights, lam, dt):
     _, d_jsq = epoch_update(nu, jsq, lam, 1.0, dt)
     _, d_jlq = epoch_update(nu, jlq, lam, 1.0, dt)
     assert d_jsq <= d_jlq + 1e-12
+
+
+# ---------------------------------------------------------------------------
+# Batched-kernel determinism properties (graph backend + chunk boundaries)
+# ---------------------------------------------------------------------------
+
+BATCH_CONFIGS = st.fixed_dictionaries(
+    {
+        "num_queues": st.integers(4, 12),
+        "clients_per_queue": st.integers(1, 8),
+        "buffer_size": st.integers(2, 5),
+        "delta_t": st.floats(0.5, 5.0),
+        "per_packet": st.booleans(),
+        "seed": st.integers(0, 2**31 - 1),
+    }
+)
+
+
+def _batch_config(params) -> "SystemConfig":
+    from repro.config import SystemConfig
+
+    return SystemConfig(
+        num_clients=params["num_queues"] * params["clients_per_queue"],
+        num_queues=params["num_queues"],
+        buffer_size=params["buffer_size"],
+        d=2,
+        delta_t=params["delta_t"],
+        episode_length=10,
+        monte_carlo_runs=3,
+    )
+
+
+@given(params=BATCH_CONFIGS, num_replicas=st.integers(1, 3))
+@settings(max_examples=25, deadline=None)
+def test_graph_full_mesh_bit_identical_to_dense(params, num_replicas):
+    """BatchedGraphFiniteEnv on a full-mesh topology consumes the random
+    stream exactly like BatchedFiniteSystemEnv: per-epoch drops, state
+    trajectories and arrival modes are bit-identical for any config."""
+    from repro.policies.static import JoinShortestQueuePolicy
+    from repro.queueing.batched_env import (
+        BatchedFiniteSystemEnv,
+        run_episodes_batched,
+    )
+    from repro.queueing.graph_env import BatchedGraphFiniteEnv
+    from repro.queueing.topology import TopologySpec
+
+    config = _batch_config(params)
+    policy = JoinShortestQueuePolicy(config.num_queue_states, config.d)
+    dense = BatchedFiniteSystemEnv(
+        config,
+        num_replicas=num_replicas,
+        per_packet_randomization=params["per_packet"],
+        seed=params["seed"],
+    )
+    graph = BatchedGraphFiniteEnv(
+        config,
+        TopologySpec.full_mesh(config.num_queues),
+        num_replicas=num_replicas,
+        per_packet_randomization=params["per_packet"],
+        seed=params["seed"],
+    )
+    a = run_episodes_batched(dense, policy, num_epochs=5, seed=params["seed"])
+    b = run_episodes_batched(graph, policy, num_epochs=5, seed=params["seed"])
+    assert np.array_equal(a.per_epoch_drops, b.per_epoch_drops)
+    assert np.array_equal(dense.queue_states, graph.queue_states)
+    assert np.array_equal(dense.lam_modes, graph.lam_modes)
+
+
+@given(params=BATCH_CONFIGS, env_kind=st.sampled_from(["dense", "graph"]))
+@settings(max_examples=10, deadline=None)
+def test_scalar_vs_batched_bit_identity_at_unit_chunks(params, env_kind):
+    """The scalar backend and the batched backend chunked at
+    max_batch_replicas=1 spawn the same per-run generators, so their
+    per-replica drops are bit-identical — including for graph envs."""
+    from repro.experiments.runner import evaluate_policy_finite
+    from repro.policies.static import JoinShortestQueuePolicy
+    from repro.queueing.graph_env import BatchedGraphFiniteEnv
+    from repro.queueing.topology import TopologySpec
+
+    config = _batch_config(params)
+    policy = JoinShortestQueuePolicy(config.num_queue_states, config.d)
+    if env_kind == "graph":
+        env_cls: type | None = BatchedGraphFiniteEnv
+        env_kwargs = {
+            "topology": TopologySpec.ring(
+                config.num_queues,
+                radius=min(2, (config.num_queues - 1) // 2),
+            ),
+            "per_packet_randomization": params["per_packet"],
+        }
+        scalar_kwargs = None  # graph envs have no scalar twin
+    else:
+        env_cls = None
+        env_kwargs = {"per_packet_randomization": params["per_packet"]}
+        scalar_kwargs = env_kwargs
+    batched = evaluate_policy_finite(
+        config,
+        policy,
+        num_runs=3,
+        num_epochs=4,
+        seed=params["seed"],
+        env_cls=env_cls,
+        env_kwargs=env_kwargs,
+        backend="batched",
+        max_batch_replicas=1,
+    )
+    if scalar_kwargs is not None:
+        scalar = evaluate_policy_finite(
+            config,
+            policy,
+            num_runs=3,
+            num_epochs=4,
+            seed=params["seed"],
+            env_kwargs=scalar_kwargs,
+            backend="scalar",
+        )
+        assert np.array_equal(batched.drops, scalar.drops)
+    # E=1-per-chunk graph runs must also be reproducible call-to-call.
+    again = evaluate_policy_finite(
+        config,
+        policy,
+        num_runs=3,
+        num_epochs=4,
+        seed=params["seed"],
+        env_cls=env_cls,
+        env_kwargs=env_kwargs,
+        backend="batched",
+        max_batch_replicas=1,
+    )
+    assert np.array_equal(batched.drops, again.drops)
+
+
+@given(
+    params=BATCH_CONFIGS,
+    num_runs=st.integers(2, 5),
+    boundary=st.sampled_from(["one", "runs_minus_one", "runs"]),
+)
+@settings(max_examples=6, deadline=None)
+def test_chunk_boundary_merge_is_deterministic(params, num_runs, boundary):
+    """At every chunk-boundary case (max_batch_replicas ∈ {1, E-1, E})
+    the merged per-replica drops are a pure function of the seed and the
+    chunk layout: re-running in-process and sharding the same layout
+    over a real process pool both reproduce them bit-for-bit."""
+    from repro.experiments.parallel import EvalRequest, SweepExecutor
+    from repro.policies.static import JoinShortestQueuePolicy
+    from repro.queueing.graph_env import BatchedGraphFiniteEnv
+    from repro.queueing.topology import TopologySpec
+
+    config = _batch_config(params)
+    chunk = {
+        "one": 1,
+        "runs_minus_one": max(1, num_runs - 1),
+        "runs": num_runs,
+    }[boundary]
+    request = EvalRequest(
+        config=config,
+        policy=JoinShortestQueuePolicy(config.num_queue_states, config.d),
+        num_runs=num_runs,
+        num_epochs=3,
+        seed=params["seed"],
+        max_batch_replicas=chunk,
+        env_cls=BatchedGraphFiniteEnv,
+        env_kwargs={
+            "topology": TopologySpec.random_regular(
+                config.num_queues,
+                degree=min(3, config.num_queues),
+                seed=0,
+            ),
+            "per_packet_randomization": params["per_packet"],
+        },
+    )
+    first = SweepExecutor(workers=1).run_drops([request])[0]
+    second = SweepExecutor(workers=1).run_drops([request])[0]
+    assert np.array_equal(first, second)
+    assert first.shape == (num_runs,)
+    # The pool path must agree shard-for-shard with the in-process path
+    # (same chunk layout, any execution order). Note SweepExecutor
+    # short-circuits single-shard requests, so only the 1 and E-1
+    # boundaries actually cross process boundaries here.
+    pooled = SweepExecutor(workers=2).run_drops([request])[0]
+    assert np.array_equal(first, pooled)

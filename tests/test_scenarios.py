@@ -26,6 +26,10 @@ BUILTIN_NAMES = (
     "heterogeneous-sed",
     "bursty-mmpp",
     "overload",
+    "ring-local",
+    "torus-local",
+    "random-regular",
+    "sparse-heterogeneous",
 )
 
 
@@ -227,6 +231,80 @@ class TestBatchedHeterogeneousEnv:
         assert list(suite) == ["SED(2)", "JSQ(2)", "RND"]
         for policy in suite.values():
             assert policy.is_stationary()
+
+    def test_record_distributions_uses_observed_width(self, small_config, spec):
+        """Regression: recorded distributions follow the env's observed
+        state space (Z x C), not the config's Z."""
+        from repro.queueing.batched_env import run_episodes_batched
+
+        env = BatchedHeterogeneousFiniteEnv(
+            small_config, spec, num_replicas=2, seed=0
+        )
+        suite = sed_policy_suite(spec, small_config.buffer_size, small_config.d)
+        result = run_episodes_batched(
+            env, suite["SED(2)"], num_epochs=3, seed=1,
+            record_distributions=True,
+        )
+        s_obs = spec.num_observed_states(small_config.buffer_size)
+        assert result.empirical_distributions.shape == (2, 4, s_obs)
+        assert np.allclose(result.empirical_distributions.sum(axis=2), 1.0)
+
+
+class TestGraphScenarios:
+    def test_ring_local_tiny_run(self):
+        result = run_scenario(
+            "ring-local", delta_ts=(5.0,), num_queues=10, num_runs=2, seed=0
+        )
+        assert result.num_queues == 10
+        assert set(result.results) == {"JSQ(2)", "RND", "THR(3)"}
+        for series in result.results.values():
+            assert len(series) == 1
+            assert series[0].drops.shape == (2,)
+
+    def test_random_regular_sharded_matches_serial(self):
+        kwargs = dict(
+            delta_ts=(2.0,), num_queues=10, num_runs=3, seed=4
+        )
+        serial = run_scenario("random-regular", workers=1, **kwargs)
+        sharded = run_scenario("random-regular", workers=2, **kwargs)
+        for name in serial.results:
+            assert np.array_equal(
+                serial.results[name][0].drops,
+                sharded.results[name][0].drops,
+            )
+
+    def test_sparse_heterogeneous_service_rates(self):
+        """The env kwargs carry per-queue rates from the class spec."""
+        spec = get_scenario("sparse-heterogeneous")
+        config = spec.config_for(5.0, num_queues=10)
+        kwargs = spec.env_kwargs_for(config)
+        rates = kwargs["service_rates"]
+        assert sorted(set(rates.tolist())) == [0.5, 2.0]
+        assert kwargs["topology"].num_queues == 10
+
+    def test_torus_local_respects_queue_override(self):
+        """Non-square --queues overrides still factor into a torus."""
+        spec = get_scenario("torus-local")
+        config = spec.config_for(5.0, num_queues=12)
+        topology = spec.env_kwargs_for(config)["topology"]
+        assert topology.num_queues == 12
+        assert topology.kind == "torus"
+
+    @pytest.mark.parametrize("name", ["ring-local", "torus-local"])
+    @pytest.mark.parametrize("m", [2, 4, 7, 10, 13, 22])
+    def test_graph_scenarios_survive_awkward_queue_overrides(self, name, m):
+        """Radii clamp to the overridden M: primes, narrow factorizations
+        and tiny systems build valid, non-degenerate-where-possible
+        topologies instead of raising (regression for the bare
+        ValueError traceback on e.g. `torus-local --queues 10`)."""
+        spec = get_scenario(name)
+        config = spec.config_for(5.0, num_queues=m)
+        topology = spec.env_kwargs_for(config)["topology"]
+        assert topology.num_queues == m
+        assert (topology.in_degrees() > 0).all()
+        if name == "torus-local" and m == 10:
+            # 2 x 5 grid: long-axis neighborhood survives the clamp.
+            assert topology.degree == 3
 
 
 class TestScenarioConfigHelpers:
