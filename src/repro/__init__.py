@@ -41,7 +41,10 @@ from repro.policies import (
     RandomPolicy,
 )
 
-__version__ = "1.0.0"
+# Kept in sync with pyproject.toml; also salts the experiment-store
+# cache keys (repro.store.keys.CODE_SALT), so bump it whenever a change
+# alters the simulation random streams.
+__version__ = "0.3.0"
 
 __all__ = [
     "PPOConfig",

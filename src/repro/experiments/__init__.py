@@ -13,6 +13,10 @@ One module per artifact:
 * :mod:`repro.experiments.pretrained` — registry of trained MF policies
   (packaged PPO checkpoints, CEM fallback).
 * :mod:`repro.experiments.runner` — shared Monte-Carlo machinery.
+* :mod:`repro.experiments.parallel` — the sharded multiprocess sweep
+  executor (optionally backed by the :mod:`repro.store` shard cache).
+* :mod:`repro.experiments.cli` — shell entry point for all of the
+  above, including the manifest-driven ``reproduce`` pipeline.
 """
 
 from repro.experiments.runner import (

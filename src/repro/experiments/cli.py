@@ -11,12 +11,21 @@ shell::
     python -m repro.experiments.cli fig6 --queues 100 --runs 5
     python -m repro.experiments.cli scenario list
     python -m repro.experiments.cli scenario heterogeneous-sed --workers 4
+    python -m repro.experiments.cli reproduce --workers 4
 
 Each command prints the regenerated ASCII table and, with ``--csv PATH``,
 writes the underlying series for external plotting. Grids default to
 bench scale; pass paper-scale values explicitly for a full reproduction.
 ``--workers K`` shards the Monte-Carlo sweeps across ``K`` processes
 (results are bit-identical to ``--workers 1``; see ``docs/scaling.md``).
+``--store-dir DIR`` attaches a content-addressed shard cache so repeated
+and overlapping sweeps only simulate what is new.
+
+``reproduce`` regenerates *every* artifact declared in a reproduction
+manifest (default: the packaged ``repro/assets/reproduction.toml``) into
+``results/`` with per-artifact provenance JSON, routing all Monte-Carlo
+work through the shard store — an interrupted run resumes where it
+stopped, bit-identical to a cold run.
 """
 
 from __future__ import annotations
@@ -97,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
     p4.add_argument("--seed", type=int, default=0)
     p4.add_argument("--csv", type=Path, default=None)
     _add_workers_flag(p4)
+    _add_store_flag(p4)
 
     p5 = sub.add_parser("fig5", help="Figure 5: delay sweep")
     p5.add_argument("--queues", type=int, default=100)
@@ -108,6 +118,7 @@ def build_parser() -> argparse.ArgumentParser:
     p5.add_argument("--seed", type=int, default=0)
     p5.add_argument("--csv", type=Path, default=None)
     _add_workers_flag(p5)
+    _add_store_flag(p5)
 
     p6 = sub.add_parser("fig6", help="Figure 6: N >> M violated")
     p6.add_argument("--queues", type=int, default=100)
@@ -119,6 +130,7 @@ def build_parser() -> argparse.ArgumentParser:
     p6.add_argument("--seed", type=int, default=0)
     p6.add_argument("--csv", type=Path, default=None)
     _add_workers_flag(p6)
+    _add_store_flag(p6)
 
     ps = sub.add_parser(
         "scenario",
@@ -143,6 +155,41 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--seed", type=int, default=0)
     ps.add_argument("--csv", type=Path, default=None)
     _add_workers_flag(ps)
+    _add_store_flag(ps)
+
+    pr = sub.add_parser(
+        "reproduce",
+        help="regenerate every artifact of a reproduction manifest",
+    )
+    pr.add_argument(
+        "--manifest", type=Path, default=None,
+        help="manifest TOML (default: the packaged reproduction.toml)",
+    )
+    pr.add_argument(
+        "--results-dir", type=Path, default=Path("results"),
+        help="output directory for tables/CSVs/provenance (default: results/)",
+    )
+    pr.add_argument(
+        "--store-dir", type=Path, default=None,
+        help="shard-store directory (default: <results-dir>/.store)",
+    )
+    pr.add_argument(
+        "--no-store", action="store_true",
+        help="disable the shard store (simulate everything fresh)",
+    )
+    pr.add_argument(
+        "--only", action="append", default=None, metavar="NAME",
+        help="run only this artifact (repeatable)",
+    )
+    pr.add_argument(
+        "--list", action="store_true", dest="list_artifacts",
+        help="list the manifest's artifacts and exit",
+    )
+    pr.add_argument(
+        "--echo", action="store_true",
+        help="print each artifact's table as it is regenerated",
+    )
+    _add_workers_flag(pr)
     return parser
 
 
@@ -154,12 +201,30 @@ def _add_workers_flag(subparser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_store_flag(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--store-dir", type=Path, default=None, metavar="DIR",
+        help="content-addressed shard cache: reuse previously computed "
+        "replica chunks and persist fresh ones (bit-identical results "
+        "either way)",
+    )
+
+
 def _emit(text: str, result, csv_path: Path | None) -> None:
     print(text)
     if csv_path is not None and result is not None:
         csv_path.parent.mkdir(parents=True, exist_ok=True)
         csv_path.write_text(result.to_csv() + "\n")
         print(f"\n[csv written to {csv_path}]")
+
+
+def _open_store(args):
+    """The ``--store-dir`` cache for sweep commands (``None`` when unset)."""
+    if getattr(args, "store_dir", None) is None:
+        return None
+    from repro.store import ExperimentStore
+
+    return ExperimentStore(args.store_dir)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -184,6 +249,7 @@ def main(argv: list[str] | None = None) -> int:
             num_runs=args.runs,
             seed=args.seed,
             workers=args.workers,
+            store=_open_store(args),
         )
         _emit(result.format_table(), result, args.csv)
     elif args.command == "fig5":
@@ -193,6 +259,7 @@ def main(argv: list[str] | None = None) -> int:
             num_runs=args.runs,
             seed=args.seed,
             workers=args.workers,
+            store=_open_store(args),
         )
         _emit(result.format_table(), result, args.csv)
     elif args.command == "fig6":
@@ -202,6 +269,7 @@ def main(argv: list[str] | None = None) -> int:
             num_runs=args.runs,
             seed=args.seed,
             workers=args.workers,
+            store=_open_store(args),
         )
         _emit(result.format_table(), result, args.csv)
     elif args.command == "scenario":
@@ -216,6 +284,7 @@ def main(argv: list[str] | None = None) -> int:
                     ("--queues", args.queues),
                     ("--runs", args.runs),
                     ("--csv", args.csv),
+                    ("--store-dir", args.store_dir),
                 )
                 if value is not None
             ]
@@ -242,6 +311,7 @@ def main(argv: list[str] | None = None) -> int:
                     num_runs=args.runs,
                     workers=args.workers,
                     seed=args.seed,
+                    store=_open_store(args),
                 )
             except KeyError as exc:
                 # Unknown scenario: a usage error, not a traceback. The
@@ -253,6 +323,61 @@ def main(argv: list[str] | None = None) -> int:
                 )
                 return 2
             _emit(result.format_table(), result, args.csv)
+    elif args.command == "reproduce":
+        from repro.store import load_manifest, run_reproduction
+
+        if args.no_store and args.store_dir is not None:
+            parser.error(
+                "--store-dir names a shard cache but --no-store disables "
+                "caching; pass one or the other"
+            )
+        try:
+            manifest = load_manifest(args.manifest)
+        except (OSError, ValueError) as exc:
+            print(f"error: invalid manifest: {exc}", file=sys.stderr)
+            return 2
+        if args.list_artifacts:
+            from repro.utils.tables import format_table
+
+            rows = [
+                [
+                    spec.name,
+                    spec.kind,
+                    ", ".join(
+                        f"{k}={v}" for k, v in sorted(spec.params.items())
+                    )
+                    or "—",
+                ]
+                for spec in manifest.artifacts
+            ]
+            print(
+                format_table(
+                    ["artifact", "kind", "parameters"],
+                    rows,
+                    title=f"Manifest — {manifest.title}",
+                )
+            )
+            return 0
+        store = None
+        if not args.no_store:
+            store = (
+                args.store_dir
+                if args.store_dir is not None
+                else args.results_dir / ".store"
+            )
+        try:
+            report = run_reproduction(
+                manifest,
+                results_dir=args.results_dir,
+                store=store,
+                workers=args.workers,
+                only=args.only,
+                echo=args.echo,
+            )
+        except ValueError as exc:  # unknown --only name, bad params, ...
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(report.format_table())
     else:  # pragma: no cover - argparse enforces choices
         raise AssertionError(f"unhandled command {args.command!r}")
     return 0

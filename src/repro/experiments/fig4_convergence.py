@@ -25,6 +25,7 @@ from repro.utils.tables import format_table, series_to_csv
 
 if TYPE_CHECKING:
     from repro.policies.base import UpperLevelPolicy
+    from repro.store.store import ExperimentStore
 
 __all__ = ["Fig4Result", "run_fig4"]
 
@@ -89,6 +90,7 @@ def run_fig4(
     mf_eval_episodes: int = 50,
     seed: int = 0,
     workers: int = 1,
+    store: "ExperimentStore | None" = None,
 ) -> Fig4Result:
     """Regenerate one Figure 4 panel (scaled grid by default).
 
@@ -96,7 +98,9 @@ def run_fig4(
     ``N = M²``. ``workers > 1`` shards the whole ``M``-grid (all replica
     chunks of all sweep points) across one process pool, bit-identical
     to the in-process sweep; the mean-field reference value is cheap and
-    stays in-process either way.
+    stays in-process either way. ``store`` attaches a content-addressed
+    shard cache (see :mod:`repro.store`) so repeated or overlapping
+    panel runs skip already-computed replica chunks.
     """
     from repro.experiments.parallel import EvalRequest, SweepExecutor
 
@@ -125,9 +129,9 @@ def run_fig4(
             )
         )
         n_values.append(n)
-    results: list[MonteCarloResult] = SweepExecutor(workers=workers).run(
-        requests
-    )
+    results: list[MonteCarloResult] = SweepExecutor(
+        workers=workers, store=store
+    ).run(requests)
 
     # Mean-field reference (the red dotted line): expected cumulative
     # drops of the same policy in the limiting MDP over the same horizon.

@@ -23,6 +23,7 @@ from repro.utils.tables import format_table, series_to_csv
 
 if TYPE_CHECKING:
     from repro.policies.base import UpperLevelPolicy
+    from repro.store.store import ExperimentStore
 
 __all__ = ["Fig5Result", "run_fig5"]
 
@@ -90,6 +91,7 @@ def run_fig5(
     per_packet_randomization: bool = True,
     seed: int = 0,
     workers: int = 1,
+    store: "ExperimentStore | None" = None,
 ) -> Fig5Result:
     """Regenerate one Figure 5 panel (scaled grid by default).
 
@@ -103,7 +105,11 @@ def run_fig5(
     :class:`repro.experiments.parallel.SweepExecutor`: with
     ``workers > 1`` every replica chunk of every cell competes for the
     same process pool, and the per-cell statistics are bit-identical to
-    the in-process ``workers=1`` sweep.
+    the in-process ``workers=1`` sweep. ``store`` attaches a
+    content-addressed shard cache (see :mod:`repro.store`): chunks
+    already computed by a previous panel run — or by any sweep sharing
+    cells with this grid — are merged from the store instead of
+    simulated.
     """
     from repro.experiments.parallel import EvalRequest, SweepExecutor
 
@@ -145,7 +151,7 @@ def run_fig5(
 
     results: dict[str, list[MonteCarloResult]] = {}
     for name, res in zip(
-        cells, SweepExecutor(workers=workers).run(requests)
+        cells, SweepExecutor(workers=workers, store=store).run(requests)
     ):
         results.setdefault(name, []).append(res)
     return Fig5Result(

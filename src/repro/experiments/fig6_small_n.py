@@ -16,6 +16,7 @@ from repro.experiments.fig5_delay_sweep import Fig5Result, run_fig5
 
 if TYPE_CHECKING:
     from repro.policies.base import UpperLevelPolicy
+    from repro.store.store import ExperimentStore
 
 __all__ = ["Fig6Result", "run_fig6"]
 
@@ -50,10 +51,12 @@ def run_fig6(
     mf_policies: "dict[float, UpperLevelPolicy] | None" = None,
     seed: int = 0,
     workers: int = 1,
+    store: "ExperimentStore | None" = None,
 ) -> Fig6Result:
     """Regenerate both Figure 6 panels (paper uses ``M = 1000``).
 
-    ``workers`` is forwarded to each panel's sharded sweep.
+    ``workers`` and ``store`` (the content-addressed shard cache) are
+    forwarded to each panel's sharded sweep.
     """
     panel_a = run_fig5(
         num_queues=num_queues,
@@ -63,6 +66,7 @@ def run_fig6(
         mf_policies=mf_policies,
         seed=seed,
         workers=workers,
+        store=store,
     )
     panel_a.num_clients_rule = "M"
     panel_b = run_fig5(
@@ -73,6 +77,7 @@ def run_fig6(
         mf_policies=mf_policies,
         seed=seed,
         workers=workers,
+        store=store,
     )
     panel_b.num_clients_rule = "M/2"
     return Fig6Result(panel_a=panel_a, panel_b=panel_b)

@@ -30,13 +30,20 @@ policies and environments in this repository are plain
 NumPy-array-holding objects, so this is cheap relative to a shard's
 simulation work. See ``docs/scaling.md`` for guidance on combining
 process-level sharding with the replica-batched backend.
+
+Because shard results are a pure function of their request and seed
+material, they are also *cacheable*: pass ``store=`` (a
+:class:`repro.store.store.ExperimentStore`) to reuse previously
+computed shards by content hash and persist fresh ones — the mechanism
+behind resumable sweeps and the ``reproduce`` pipeline (see
+``docs/reproduction.md``).
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
@@ -50,12 +57,19 @@ from repro.queueing.env import FiniteSystemEnv, run_episode
 from repro.utils.stats import mean_confidence_interval
 
 if TYPE_CHECKING:
+    from multiprocessing.context import BaseContext
+
     from repro.experiments.runner import MonteCarloResult
     from repro.policies.base import UpperLevelPolicy
+    from repro.store.store import ExperimentStore
 
 __all__ = ["EvalRequest", "SweepExecutor"]
 
 SeedLike = "int | np.random.SeedSequence | np.random.Generator | None"
+
+#: Picklable seed material carried by a shard: ``SeedSequence`` children
+#: in the common case, drawn integers for exotic bit generators.
+SeedMaterial = "np.random.SeedSequence | int"
 
 
 @dataclass(frozen=True)
@@ -81,7 +95,7 @@ class EvalRequest:
     backend: str = "batched"
     max_batch_replicas: int = 64
     env_cls: type | None = None
-    env_kwargs: dict = field(default_factory=dict)
+    env_kwargs: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.backend not in ("batched", "scalar"):
@@ -119,10 +133,10 @@ class _Shard:
     # Batched shards carry one seed (the chunk generator); scalar shards
     # one seed per run. Entries are SeedSequences (or ints for exotic
     # generators without a retrievable seed sequence).
-    seeds: tuple
+    seeds: "tuple[SeedMaterial, ...]"
 
 
-def _spawn_seed_children(seed: "SeedLike", count: int) -> list:
+def _spawn_seed_children(seed: "SeedLike", count: int) -> "list[SeedMaterial]":
     """Children mirroring :func:`repro.utils.rng.spawn_generators`.
 
     Returns picklable seed material (``SeedSequence`` children, or drawn
@@ -219,9 +233,24 @@ class SweepExecutor:
     mp_context:
         Optional ``multiprocessing`` context or start-method name
         (``"fork"``, ``"spawn"``, ...) forwarded to the pool.
+    store:
+        Optional :class:`repro.store.store.ExperimentStore`. When given,
+        every shard is looked up by its content hash before dispatch
+        (cache hits merge without simulating anything) and every freshly
+        computed shard is persisted atomically on completion — so a
+        killed sweep resumes where it stopped, and overlapping sweeps
+        (e.g. two figure grids sharing sub-sweeps) reuse each other's
+        shards. Cached and fresh shards merge bit-identically to a cold
+        run because a shard's streams are a pure function of its key
+        inputs.
     """
 
-    def __init__(self, workers: int | None = None, mp_context=None) -> None:
+    def __init__(
+        self,
+        workers: int | None = None,
+        mp_context: "BaseContext | str | None" = None,
+        store: "ExperimentStore | None" = None,
+    ) -> None:
         import os
 
         if workers is None:
@@ -234,6 +263,7 @@ class SweepExecutor:
 
             mp_context = multiprocessing.get_context(mp_context)
         self._mp_context = mp_context
+        self.store = store
 
     def run_drops(self, requests: Sequence[EvalRequest]) -> list[np.ndarray]:
         """Merged per-replica drops for every request, in request order.
@@ -244,23 +274,31 @@ class SweepExecutor:
         """
         requests = list(requests)
         merged = [np.empty(req.resolved_runs()) for req in requests]
-        shards = _decompose(requests)
-        if self.workers == 1 or len(shards) <= 1:
-            for shard in shards:
+        pending = self._resolve_cached(requests, _decompose(requests), merged)
+        if self.workers == 1 or len(pending) <= 1:
+            for shard, key in pending:
                 drops = _run_shard(requests[shard.request_index], shard)
                 self._merge(merged, shard, drops)
+                self._persist(requests[shard.request_index], shard, key, drops)
             return merged
-        max_workers = min(self.workers, len(shards))
+        max_workers = min(self.workers, len(pending))
         with ProcessPoolExecutor(
             max_workers=max_workers, mp_context=self._mp_context
         ) as pool:
             futures = {
-                pool.submit(_run_shard, requests[shard.request_index], shard): shard
-                for shard in shards
+                pool.submit(
+                    _run_shard, requests[shard.request_index], shard
+                ): (shard, key)
+                for shard, key in pending
             }
             try:
                 for future in as_completed(futures):
-                    self._merge(merged, futures[future], future.result())
+                    shard, key = futures[future]
+                    drops = future.result()
+                    self._merge(merged, shard, drops)
+                    self._persist(
+                        requests[shard.request_index], shard, key, drops
+                    )
             except BaseException:
                 # Fail fast: drop every still-queued shard instead of
                 # letting a long sweep run to completion behind the
@@ -269,6 +307,68 @@ class SweepExecutor:
                     future.cancel()
                 raise
         return merged
+
+    def _resolve_cached(
+        self,
+        requests: list[EvalRequest],
+        shards: list[_Shard],
+        merged: list[np.ndarray],
+    ) -> "list[tuple[_Shard, str | None]]":
+        """Merge store hits in place; return the shards left to compute.
+
+        Each pending entry carries the shard's precomputed store key
+        (``None`` without a store) so completion can persist the result
+        without re-hashing the request.
+        """
+        if self.store is None:
+            return [(shard, None) for shard in shards]
+        from repro.store.keys import shard_key
+
+        pending: list[tuple[_Shard, str | None]] = []
+        for shard in shards:
+            key = shard_key(requests[shard.request_index], shard)
+            drops = self.store.get_shard(key, expected_runs=shard.num_runs)
+            if drops is not None:
+                self._merge(merged, shard, drops)
+            else:
+                pending.append((shard, key))
+        return pending
+
+    def _persist(
+        self,
+        request: EvalRequest,
+        shard: _Shard,
+        key: str | None,
+        drops: np.ndarray,
+    ) -> None:
+        """Write one completed shard back to the store (if attached).
+
+        Persistence failures (disk full, store turned read-only, ...)
+        must not lose the freshly simulated result or abort the sweep:
+        the merged statistics are already correct without the cache, so
+        the error is downgraded to a warning and counted on the store's
+        ``write_errors`` stat — the worst case of an unwritable store is
+        recomputation next run, mirroring the read path's recovery
+        discipline.
+        """
+        if self.store is None or key is None:
+            return
+        try:
+            self.store.put_shard(
+                key,
+                drops,
+                meta={"policy": request.policy.name, "offset": shard.offset},
+            )
+        except OSError as exc:
+            import warnings
+
+            self.store.stats.write_errors += 1
+            warnings.warn(
+                f"experiment store write failed ({exc}); continuing "
+                "without persisting this shard",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     def run(self, requests: Sequence[EvalRequest]) -> "list[MonteCarloResult]":
         """Evaluate every request; returns one merged

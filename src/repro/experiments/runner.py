@@ -30,6 +30,7 @@ from repro.utils.stats import ConfidenceInterval
 
 if TYPE_CHECKING:
     from repro.policies.base import UpperLevelPolicy
+    from repro.store.store import ExperimentStore
 
 __all__ = ["MonteCarloResult", "evaluate_policy_finite", "policy_suite"]
 
@@ -59,6 +60,7 @@ def evaluate_policy_finite(
     backend: str = "batched",
     max_batch_replicas: int = 64,
     workers: int = 1,
+    store: "ExperimentStore | None" = None,
 ) -> MonteCarloResult:
     """Monte-Carlo estimate of cumulative per-queue drops (Figures 4-6).
 
@@ -77,7 +79,11 @@ def evaluate_policy_finite(
     :class:`repro.experiments.parallel.SweepExecutor`; the random
     streams are a function of ``seed`` and the chunk layout only, so the
     result is bit-identical to ``workers=1`` (which stays entirely
-    in-process).
+    in-process). ``store`` attaches a content-addressed
+    :class:`repro.store.store.ExperimentStore`: previously computed
+    replica chunks are reused instead of simulated, and fresh chunks are
+    persisted for the next run — merged results stay bit-identical
+    either way.
     """
     # Lazy import: parallel builds on this module's result type. The
     # replica-chunk layout, SeedSequence spawning and both execution
@@ -98,7 +104,7 @@ def evaluate_policy_finite(
         env_cls=env_cls,
         env_kwargs=env_kwargs or {},
     )
-    return SweepExecutor(workers=workers).run([request])[0]
+    return SweepExecutor(workers=workers, store=store).run([request])[0]
 
 
 def policy_suite(

@@ -1,10 +1,14 @@
 """Scenario registry: named workloads for the sweep orchestrator.
 
-Importing this package registers the built-in catalogue
-(``paper-baseline``, ``heterogeneous-sed``, ``bursty-mmpp``,
-``overload``); :func:`run_scenario` executes any registered name through
-the sharded :class:`repro.experiments.parallel.SweepExecutor`. See
-``docs/scaling.md`` for the catalogue table and worker guidance.
+Importing this package registers the built-in catalogue — the dense
+workloads ``paper-baseline``, ``heterogeneous-sed``, ``bursty-mmpp``
+and ``overload``, plus the sparse-topology workloads ``ring-local``,
+``torus-local``, ``random-regular`` and ``sparse-heterogeneous`` (see
+:mod:`repro.scenarios.builtin`). :func:`run_scenario` executes any
+registered name through the sharded
+:class:`repro.experiments.parallel.SweepExecutor`, optionally backed by
+the content-addressed shard store (``store=``). See ``docs/scaling.md``
+for the catalogue table and worker guidance.
 """
 
 from repro.scenarios import builtin as _builtin  # noqa: F401  (registers the catalogue)

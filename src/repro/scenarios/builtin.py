@@ -27,6 +27,8 @@ paper-scale sweeps.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.config import SystemConfig, paper_system_config
@@ -39,6 +41,9 @@ from repro.queueing.heterogeneous import (
 )
 from repro.queueing.topology import TopologySpec, near_square_factors
 from repro.scenarios.registry import ScenarioSpec, register_scenario
+
+if TYPE_CHECKING:
+    from repro.policies.base import UpperLevelPolicy
 
 __all__ = [
     "HETEROGENEOUS_SPEC",
@@ -74,7 +79,7 @@ def bursty_arrival_process() -> MarkovModulatedRate:
     )
 
 
-def _paper_policies(config: SystemConfig) -> dict:
+def _paper_policies(config: SystemConfig) -> "dict[str, UpperLevelPolicy]":
     from repro.experiments.pretrained import get_mf_policy
     from repro.experiments.runner import policy_suite
 
@@ -82,7 +87,7 @@ def _paper_policies(config: SystemConfig) -> dict:
     return policy_suite(config, mf_policy=mf_policy)
 
 
-def _static_policies(config: SystemConfig) -> dict:
+def _static_policies(config: SystemConfig) -> "dict[str, UpperLevelPolicy]":
     """JSQ(d) / THR / RND — the suites for non-paper arrival processes.
 
     The packaged MF checkpoints were trained against the paper's
@@ -99,27 +104,27 @@ def _static_policies(config: SystemConfig) -> dict:
     return {**suite, thr.name: thr}
 
 
-def _het_policies(config: SystemConfig) -> dict:
+def _het_policies(config: SystemConfig) -> "dict[str, UpperLevelPolicy]":
     return sed_policy_suite(
         HETEROGENEOUS_SPEC, config.buffer_size, config.d
     )
 
 
-def _het_env_kwargs(config: SystemConfig) -> dict:
+def _het_env_kwargs(config: SystemConfig) -> dict[str, object]:
     return {
         "spec": HETEROGENEOUS_SPEC,
         "per_packet_randomization": True,
     }
 
 
-def _bursty_env_kwargs(config: SystemConfig) -> dict:
+def _bursty_env_kwargs(config: SystemConfig) -> dict[str, object]:
     return {
         "arrival_process": bursty_arrival_process(),
         "per_packet_randomization": True,
     }
 
 
-def _paper_env_kwargs(config: SystemConfig) -> dict:
+def _paper_env_kwargs(config: SystemConfig) -> dict[str, object]:
     return {"per_packet_randomization": True}
 
 
@@ -131,7 +136,7 @@ RANDOM_REGULAR_DEGREE = 4
 TOPOLOGY_SEED = 0  # graph draw is part of the scenario identity
 
 
-def _ring_env_kwargs(config: SystemConfig) -> dict:
+def _ring_env_kwargs(config: SystemConfig) -> dict[str, object]:
     # Clamp the radius so small --queues overrides stay valid (the
     # neighborhood must not wrap past the whole cycle).
     radius = min(RING_RADIUS, (config.num_queues - 1) // 2)
@@ -141,7 +146,7 @@ def _ring_env_kwargs(config: SystemConfig) -> dict:
     }
 
 
-def _torus_env_kwargs(config: SystemConfig) -> dict:
+def _torus_env_kwargs(config: SystemConfig) -> dict[str, object]:
     # Most square rows x cols factorization of the (possibly overridden)
     # queue count, with per-axis radii clamped to each grid side so
     # --queues works for primes and narrow factorizations too (a 2 x 5
@@ -157,7 +162,7 @@ def _torus_env_kwargs(config: SystemConfig) -> dict:
     }
 
 
-def _random_regular_env_kwargs(config: SystemConfig) -> dict:
+def _random_regular_env_kwargs(config: SystemConfig) -> dict[str, object]:
     return {
         "topology": TopologySpec.random_regular(
             config.num_queues,
@@ -168,7 +173,7 @@ def _random_regular_env_kwargs(config: SystemConfig) -> dict:
     }
 
 
-def _sparse_het_env_kwargs(config: SystemConfig) -> dict:
+def _sparse_het_env_kwargs(config: SystemConfig) -> dict[str, object]:
     classes = HETEROGENEOUS_SPEC.assign_classes(config.num_queues)
     return {
         "topology": TopologySpec.random_regular(

@@ -21,6 +21,7 @@ from repro.utils.tables import format_table, series_to_csv
 
 if TYPE_CHECKING:
     from repro.experiments.runner import MonteCarloResult
+    from repro.store.store import ExperimentStore
 
 __all__ = ["ScenarioSweepResult", "run_scenario"]
 
@@ -86,12 +87,32 @@ def run_scenario(
     num_runs: int | None = None,
     workers: int = 1,
     seed: int = 0,
+    store: "ExperimentStore | None" = None,
 ) -> ScenarioSweepResult:
     """Evaluate one registered scenario over its delay grid.
 
-    Grid arguments default to the spec's frozen values; ``workers``
-    selects the process count of the shared :class:`SweepExecutor`
-    (``1`` = in-process) and never changes the merged statistics.
+    Parameters
+    ----------
+    name:
+        Registered scenario name (see
+        :func:`repro.scenarios.registry.available_scenarios`).
+    delta_ts, num_queues, num_runs:
+        Grid overrides; each defaults to the spec's frozen value
+        (``num_queues`` rescales ``N`` through the spec's client rule).
+    workers:
+        Process count of the shared :class:`SweepExecutor` (``1`` =
+        in-process); never changes the merged statistics.
+    seed:
+        Master seed of every sweep cell's replica streams.
+    store:
+        Optional content-addressed shard cache (see :mod:`repro.store`):
+        cells already computed by a previous run — or by an overlapping
+        figure sweep — are merged from the store instead of simulated.
+
+    Raises
+    ------
+    KeyError
+        If ``name`` is not registered (the message lists the catalogue).
     """
     spec: ScenarioSpec = get_scenario(name)
     grid = tuple(delta_ts) if delta_ts else spec.delta_ts
@@ -119,7 +140,7 @@ def run_scenario(
             )
             cells.append((dt, policy_name))
 
-    executor = SweepExecutor(workers=workers)
+    executor = SweepExecutor(workers=workers, store=store)
     merged = executor.run(requests)
 
     results: "dict[str, list[MonteCarloResult]]" = {}

@@ -1,0 +1,56 @@
+"""Content-addressed experiment store and reproduction pipeline.
+
+Monte-Carlo sweeps decompose into ``(sweep-point × replica-chunk)``
+shards whose random streams are a pure function of the request and the
+chunk's seed material (see :mod:`repro.experiments.parallel`). That
+purity makes every shard *cacheable*: :func:`repro.store.keys.shard_key`
+derives a stable content hash from the shard's full identity — config
+dataclass, policy parameters, environment class/kwargs, seed material
+and a code-version salt — and :class:`repro.store.store.ExperimentStore`
+persists completed shard results atomically under that key.
+
+:class:`repro.experiments.parallel.SweepExecutor` consults the store
+before dispatching shards and writes every freshly computed shard back,
+so
+
+* an interrupted sweep resumes exactly where it stopped (cached shards
+  merge with fresh ones bit-identically to a cold run), and
+* overlapping figure grids (e.g. Figure 5 and the ``paper-baseline``
+  scenario share their whole ``(Δt × policy)`` sub-sweep) reuse each
+  other's shards for free.
+
+On top of the store, :mod:`repro.store.manifest` parses the declarative
+reproduction manifest (``repro/assets/reproduction.toml``) and
+:mod:`repro.store.pipeline` regenerates every declared paper artifact
+into ``results/`` with provenance metadata — the engine behind
+``python -m repro.experiments.cli reproduce``.
+"""
+
+from repro.store.keys import CODE_SALT, fingerprint, shard_key
+from repro.store.manifest import (
+    ArtifactSpec,
+    ReproductionManifest,
+    load_manifest,
+    packaged_manifest_path,
+)
+from repro.store.pipeline import (
+    ArtifactRun,
+    ReproductionReport,
+    run_reproduction,
+)
+from repro.store.store import ExperimentStore, StoreStats
+
+__all__ = [
+    "ArtifactRun",
+    "ArtifactSpec",
+    "CODE_SALT",
+    "ExperimentStore",
+    "ReproductionManifest",
+    "ReproductionReport",
+    "StoreStats",
+    "fingerprint",
+    "load_manifest",
+    "packaged_manifest_path",
+    "run_reproduction",
+    "shard_key",
+]

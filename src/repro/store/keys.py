@@ -1,0 +1,178 @@
+"""Stable content hashes for Monte-Carlo shards.
+
+A shard's random streams — and therefore its result — are a pure
+function of
+
+* the :class:`~repro.config.SystemConfig` dataclass,
+* the policy object (its parameter arrays, not its identity),
+* the environment class and construction kwargs,
+* the resolved execution backend and episode length,
+* the shard's replica count and its ``SeedSequence`` material.
+
+:func:`shard_key` feeds exactly those inputs — plus :data:`CODE_SALT`,
+a code-version salt that invalidates every entry when the simulation
+kernels change — through one canonical SHA-256 and returns the hex
+digest used as the store key.
+
+Canonicalization rules (:func:`fingerprint`):
+
+* scalars are hashed with an explicit type tag (``1`` and ``1.0`` and
+  ``"1"`` all differ; floats use ``float.hex`` so the hash is exact),
+* ``numpy`` arrays hash dtype, shape and raw bytes,
+* mappings are order-insensitive (entries sorted by key), sequences are
+  order-sensitive,
+* ``SeedSequence`` hashes its entropy/spawn-key/pool-size — the fields
+  that determine the generated stream — and ignores mutable spawn
+  counters,
+* dataclasses and plain objects hash their qualified name plus field
+  dict, recursively (cycles are detected and hashed by back-reference),
+* classes and functions hash their qualified name only. Closures are
+  **not** captured — keep stream-relevant state in attributes, not in
+  lambdas (true for every policy/environment in this repository).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import TYPE_CHECKING, Any, Mapping
+
+import numpy as np
+
+import repro
+
+if TYPE_CHECKING:
+    from repro.experiments.parallel import EvalRequest, _Shard
+
+__all__ = ["CODE_SALT", "fingerprint", "shard_key"]
+
+#: Store-format generation; bump to invalidate all entries on layout
+#: changes that keep the package version (rare — prefer version bumps).
+STORE_SCHEMA_VERSION = 1
+
+#: Every key is salted with the package version: a release that touches
+#: the simulation kernels moves every shard to a fresh key space instead
+#: of silently replaying stale results.
+CODE_SALT = f"repro/{repro.__version__}/store-v{STORE_SCHEMA_VERSION}"
+
+
+def _seen(h: "hashlib._Hash", obj: Any, memo: dict[int, int]) -> bool:
+    """Cycle guard for mutable containers and objects.
+
+    On first visit the object is registered (content gets hashed by the
+    caller); on revisit a back-reference index is hashed instead, so
+    self-referential structures terminate with equal-structure inputs
+    hashing equally.
+    """
+    if id(obj) in memo:
+        h.update(b"\x00c" + str(memo[id(obj)]).encode())
+        return True
+    memo[id(obj)] = len(memo)
+    return False
+
+
+def _feed(h: "hashlib._Hash", obj: Any, memo: dict[int, int]) -> None:
+    """Feed one canonicalized object into the running hash."""
+    if obj is None:
+        h.update(b"\x00N")
+    elif isinstance(obj, (bool, np.bool_)):
+        h.update(b"\x00b1" if obj else b"\x00b0")
+    elif isinstance(obj, (int, np.integer)):
+        h.update(b"\x00i" + str(int(obj)).encode())
+    elif isinstance(obj, (float, np.floating)):
+        h.update(b"\x00f" + float(obj).hex().encode())
+    elif isinstance(obj, str):
+        h.update(b"\x00s" + obj.encode("utf-8") + b"\x00")
+    elif isinstance(obj, bytes):
+        h.update(b"\x00y" + obj + b"\x00")
+    elif isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        h.update(b"\x00a" + arr.dtype.str.encode() + repr(arr.shape).encode())
+        h.update(arr.tobytes())
+    elif isinstance(obj, np.random.SeedSequence):
+        h.update(b"\x00q")
+        _feed(h, obj.entropy, memo)
+        _feed(h, tuple(obj.spawn_key), memo)
+        _feed(h, int(obj.pool_size), memo)
+    elif isinstance(obj, Mapping):
+        if _seen(h, obj, memo):
+            return
+        h.update(b"\x00d" + str(len(obj)).encode())
+        for key, value in sorted(obj.items(), key=lambda kv: repr(kv[0])):
+            _feed(h, key, memo)
+            _feed(h, value, memo)
+    elif isinstance(obj, (list, tuple)):
+        if isinstance(obj, list) and _seen(h, obj, memo):
+            return
+        h.update(b"\x00l" + str(len(obj)).encode())
+        for item in obj:
+            _feed(h, item, memo)
+    elif isinstance(obj, (set, frozenset)):
+        if isinstance(obj, set) and _seen(h, obj, memo):
+            return
+        h.update(b"\x00e" + str(len(obj)).encode())
+        for item in sorted(obj, key=repr):
+            _feed(h, item, memo)
+    elif isinstance(obj, type):
+        h.update(b"\x00T" + f"{obj.__module__}.{obj.__qualname__}".encode())
+    elif callable(obj) and hasattr(obj, "__qualname__"):
+        h.update(b"\x00F" + f"{obj.__module__}.{obj.__qualname__}".encode())
+    else:
+        # Compound object: hash its type identity plus field dict.
+        if _seen(h, obj, memo):
+            return
+        cls = type(obj)
+        h.update(b"\x00O" + f"{cls.__module__}.{cls.__qualname__}".encode())
+        if dataclasses.is_dataclass(obj):
+            fields = {
+                f.name: getattr(obj, f.name)
+                for f in dataclasses.fields(obj)
+            }
+        elif hasattr(obj, "__dict__"):
+            fields = vars(obj)
+        elif hasattr(cls, "__slots__"):
+            fields = {
+                name: getattr(obj, name)
+                for name in cls.__slots__
+                if hasattr(obj, name)
+            }
+        else:
+            raise TypeError(
+                f"cannot fingerprint {cls.__module__}.{cls.__qualname__}: "
+                "no dataclass fields, __dict__ or __slots__"
+            )
+        _feed(h, fields, memo)
+
+
+def fingerprint(obj: Any) -> str:
+    """Canonical SHA-256 hex digest of ``obj`` (see module docstring)."""
+    h = hashlib.sha256()
+    _feed(h, obj, {})
+    return h.hexdigest()
+
+
+def shard_key(request: "EvalRequest", shard: "_Shard") -> str:
+    """Content hash identifying one shard's result.
+
+    Deliberately *excludes* the shard's merge offset and the request's
+    total replica count: a chunk's streams depend only on its own seed
+    material and size, so a 5-run request and a 100-run request with the
+    same seed and chunk layout share their common prefix of shards —
+    the property that lets overlapping figure grids reuse each other's
+    work.
+    """
+    payload = {
+        "salt": CODE_SALT,
+        "config": request.config.to_dict(),
+        "policy": request.policy,
+        "policy_name": request.policy.name,
+        "num_epochs": request.num_epochs,
+        "backend": (
+            "batched" if request.uses_batched_backend() else "scalar"
+        ),
+        "env_cls": request.env_cls,
+        "env_kwargs": request.env_kwargs,
+        "shard_runs": shard.num_runs,
+        "shard_seeds": shard.seeds,
+    }
+    return fingerprint(payload)

@@ -1,0 +1,206 @@
+"""Declarative reproduction manifests (TOML).
+
+A manifest names every artifact of a full reproduction run — paper
+tables, figure panels, registered scenarios — together with the grid
+parameters each one uses. ``python -m repro.experiments.cli reproduce``
+feeds the parsed manifest to :func:`repro.store.pipeline.run_reproduction`,
+which regenerates all artifacts through the shard store.
+
+Format (``repro/assets/reproduction.toml`` is the packaged default)::
+
+    title = "Bench-scale reproduction"
+    seed = 0
+
+    [artifacts.fig5-m100]
+    kind = "fig5"
+    queues = 100
+    delta_ts = [1.0, 3.0, 5.0, 7.0, 10.0]
+    runs = 5
+
+    [artifacts.scenario-overload]
+    kind = "scenario"
+    scenario = "overload"
+
+Every ``[artifacts.<name>]`` table needs a ``kind``; the remaining keys
+are grid parameters, validated against the kind's schema below. Unknown
+kinds or parameters fail at parse time — a typo never silently runs a
+default grid.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from importlib import resources
+from pathlib import Path
+from typing import Any, Mapping
+
+try:  # stdlib from 3.11; the tomli backport covers Python 3.10
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - 3.10 only
+    import tomli as tomllib  # type: ignore[no-redef]
+
+__all__ = [
+    "ArtifactSpec",
+    "ReproductionManifest",
+    "load_manifest",
+    "packaged_manifest_path",
+]
+
+#: Allowed parameter keys per artifact kind (``kind`` itself excluded).
+KIND_PARAMS: dict[str, frozenset[str]] = {
+    "table1": frozenset(),
+    "table2": frozenset(),
+    "fig4": frozenset({"delta_t", "m_grid", "runs", "seed", "mf_eval_episodes"}),
+    "fig5": frozenset({"queues", "delta_ts", "runs", "seed"}),
+    "fig6": frozenset({"queues", "delta_ts", "runs", "seed"}),
+    "scenario": frozenset(
+        {"scenario", "queues", "delta_ts", "runs", "seed"}
+    ),
+}
+
+_NAME_RE = re.compile(r"^[a-z0-9][a-z0-9._-]*$")
+
+
+@dataclass(frozen=True)
+class ArtifactSpec:
+    """One manifest entry: an artifact name, its kind and parameters."""
+
+    name: str
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not _NAME_RE.match(self.name):
+            raise ValueError(
+                f"artifact name {self.name!r} must be lowercase "
+                "alphanumeric with ._- separators (it becomes a filename)"
+            )
+        if self.kind not in KIND_PARAMS:
+            raise ValueError(
+                f"artifact {self.name!r} has unknown kind {self.kind!r}; "
+                f"known kinds: {', '.join(sorted(KIND_PARAMS))}"
+            )
+        allowed = KIND_PARAMS[self.kind]
+        unknown = set(self.params) - allowed
+        if unknown:
+            raise ValueError(
+                f"artifact {self.name!r} ({self.kind}) has unknown "
+                f"parameters {sorted(unknown)}; allowed: {sorted(allowed)}"
+            )
+        if self.kind == "scenario" and "scenario" not in self.params:
+            raise ValueError(
+                f"artifact {self.name!r}: kind 'scenario' requires a "
+                "'scenario' parameter naming the registry entry"
+            )
+
+    def seed_for(self, default_seed: int) -> int:
+        """Artifact seed: the entry's own ``seed``, else the manifest's."""
+        return int(self.params.get("seed", default_seed))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "kind": self.kind, **dict(self.params)}
+
+
+@dataclass(frozen=True)
+class ReproductionManifest:
+    """A parsed manifest: global settings plus the artifact list."""
+
+    artifacts: tuple[ArtifactSpec, ...]
+    title: str = "reproduction"
+    seed: int = 0
+    source: Path | None = None
+
+    def __post_init__(self) -> None:
+        if not self.artifacts:
+            raise ValueError("manifest declares no artifacts")
+        names = [spec.name for spec in self.artifacts]
+        dupes = {n for n in names if names.count(n) > 1}
+        if dupes:
+            raise ValueError(f"duplicate artifact names: {sorted(dupes)}")
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(spec.name for spec in self.artifacts)
+
+    def select(self, only: "list[str] | None" = None) -> tuple[ArtifactSpec, ...]:
+        """The artifacts to run, in manifest order.
+
+        ``only`` filters by name; unknown names raise with the
+        available list so a CLI typo fails before hours of simulation.
+        """
+        if not only:
+            return self.artifacts
+        known = set(self.names())
+        unknown = [name for name in only if name not in known]
+        if unknown:
+            raise ValueError(
+                f"unknown artifact(s) {unknown}; manifest declares: "
+                f"{', '.join(self.names())}"
+            )
+        wanted = set(only)
+        return tuple(s for s in self.artifacts if s.name in wanted)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (used for provenance records and tests)."""
+        return {
+            "title": self.title,
+            "seed": self.seed,
+            "artifacts": [spec.to_dict() for spec in self.artifacts],
+        }
+
+    @classmethod
+    def from_dict(
+        cls, payload: Mapping[str, Any], source: Path | None = None
+    ) -> "ReproductionManifest":
+        payload = dict(payload)
+        raw_artifacts = payload.pop("artifacts", {})
+        title = str(payload.pop("title", "reproduction"))
+        seed = int(payload.pop("seed", 0))
+        if payload:
+            raise ValueError(
+                f"unknown top-level manifest keys: {sorted(payload)} "
+                "(expected 'title', 'seed', 'artifacts')"
+            )
+        if isinstance(raw_artifacts, Mapping):
+            items = list(raw_artifacts.items())
+        else:  # list form: [{"name": ..., "kind": ...}, ...]
+            items = [
+                (dict(entry).pop("name", ""), entry) for entry in raw_artifacts
+            ]
+        specs = []
+        for name, table in items:
+            table = dict(table)
+            table.pop("name", None)
+            kind = table.pop("kind", None)
+            if kind is None:
+                raise ValueError(f"artifact {name!r} is missing 'kind'")
+            specs.append(ArtifactSpec(name=name, kind=str(kind), params=table))
+        return cls(
+            artifacts=tuple(specs), title=title, seed=seed, source=source
+        )
+
+    @classmethod
+    def from_toml(cls, path: str | Path) -> "ReproductionManifest":
+        path = Path(path)
+        with path.open("rb") as fh:
+            try:
+                payload = tomllib.load(fh)
+            except tomllib.TOMLDecodeError as exc:
+                # Normalized so callers handle one exception type for
+                # every way a manifest can be malformed.
+                raise ValueError(f"{path}: {exc}") from exc
+        return cls.from_dict(payload, source=path)
+
+
+def packaged_manifest_path() -> Path:
+    """Location of the packaged default manifest."""
+    return Path(
+        str(resources.files("repro.assets").joinpath("reproduction.toml"))
+    )
+
+
+def load_manifest(path: "str | Path | None" = None) -> ReproductionManifest:
+    """Parse ``path``, or the packaged default manifest when ``None``."""
+    return ReproductionManifest.from_toml(
+        path if path is not None else packaged_manifest_path()
+    )

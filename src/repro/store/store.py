@@ -1,0 +1,195 @@
+"""Atomic, content-addressed persistence of completed shard results.
+
+One entry per shard key: a small ``.npz`` archive holding the shard's
+per-replica drop array plus a JSON metadata blob (schema version, key,
+replica count, free-form provenance). Entries live under
+``root/<key[:2]>/<key>.npz`` so directories stay small even for very
+large sweeps.
+
+Durability discipline:
+
+* **Atomic writes** — every entry is written to a temporary file in the
+  same directory and published with :func:`os.replace`, so a killed
+  process never leaves a half-written entry behind; re-running the sweep
+  simply recomputes the missing shards.
+* **Corrupted-entry recovery** — any entry that fails to load or
+  validate (truncated archive, wrong schema, key/shape mismatch) is
+  quarantined (removed) and reported as a cache miss, never an error:
+  the worst case of a damaged store is recomputation, not a crash or a
+  wrong result.
+
+The store keeps running :class:`StoreStats` counters; callers that need
+per-phase numbers (e.g. the reproduction pipeline's per-artifact cache
+hit-rate) snapshot the counters before and after and diff them.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+import numpy as np
+
+from repro.store.keys import STORE_SCHEMA_VERSION
+from repro.utils.serialization import (
+    load_npz_checkpoint,
+    save_npz_checkpoint,
+)
+
+__all__ = ["ExperimentStore", "StoreStats"]
+
+_DROPS_KEY = "drops"
+
+
+@dataclass
+class StoreStats:
+    """Running cache counters (``invalid`` entries also count as misses;
+    ``write_errors`` counts persists the sweep layer tolerated)."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    invalid: int = 0
+    write_errors: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the store (0.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> "StoreStats":
+        return StoreStats(
+            self.hits,
+            self.misses,
+            self.writes,
+            self.invalid,
+            self.write_errors,
+        )
+
+    def since(self, earlier: "StoreStats") -> "StoreStats":
+        """Counter delta relative to an earlier :meth:`snapshot`."""
+        return StoreStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            writes=self.writes - earlier.writes,
+            invalid=self.invalid - earlier.invalid,
+            write_errors=self.write_errors - earlier.write_errors,
+        )
+
+
+class ExperimentStore:
+    """Content-addressed shard cache rooted at a directory.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created, with parents, if missing). Safe to
+        share between figure runs and scenarios — keys are content
+        hashes, so distinct experiments never collide and identical
+        sub-sweeps deduplicate automatically.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = StoreStats()
+
+    def path_for(self, key: str) -> Path:
+        """Entry location for ``key`` (two-level fan-out)."""
+        if len(key) < 3:
+            raise ValueError(f"store key too short: {key!r}")
+        return self.root / key[:2] / f"{key}.npz"
+
+    def get_shard(
+        self, key: str, expected_runs: int | None = None
+    ) -> np.ndarray | None:
+        """Cached per-replica drops for ``key``, or ``None`` on a miss.
+
+        A present-but-invalid entry (corruption, schema or shape
+        mismatch) is quarantined and reported as a miss.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            self.stats.misses += 1
+            return None
+        try:
+            arrays, meta = load_npz_checkpoint(path)
+            drops = np.asarray(arrays[_DROPS_KEY], dtype=np.float64)
+            if meta.get("schema") != STORE_SCHEMA_VERSION:
+                raise ValueError(f"schema mismatch: {meta.get('schema')!r}")
+            if meta.get("key") != key:
+                raise ValueError("stored key does not match file name")
+            if drops.ndim != 1 or not np.all(np.isfinite(drops)):
+                raise ValueError(f"malformed drops array: {drops.shape}")
+            if expected_runs is not None and drops.shape != (expected_runs,):
+                raise ValueError(
+                    f"entry holds {drops.shape[0]} runs, expected "
+                    f"{expected_runs}"
+                )
+        except Exception:
+            # Corrupted or stale entry: recover by quarantining it and
+            # recomputing the shard (a cache can always afford a miss).
+            self._quarantine(path)
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return drops
+
+    def put_shard(
+        self,
+        key: str,
+        drops: np.ndarray,
+        meta: Mapping[str, Any] | None = None,
+    ) -> Path:
+        """Persist one shard result atomically; returns the entry path."""
+        drops = np.asarray(drops, dtype=np.float64)
+        if drops.ndim != 1:
+            raise ValueError(f"drops must be 1-D, got shape {drops.shape}")
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": STORE_SCHEMA_VERSION,
+            "key": key,
+            "num_runs": int(drops.shape[0]),
+            **dict(meta or {}),
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".npz"
+        )
+        os.close(fd)
+        tmp_path = Path(tmp_name)
+        try:
+            save_npz_checkpoint(tmp_path, {_DROPS_KEY: drops}, meta=payload)
+            os.replace(tmp_path, path)  # atomic publish
+        except BaseException:
+            tmp_path.unlink(missing_ok=True)
+            raise
+        self.stats.writes += 1
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_keys())
+
+    def iter_keys(self) -> Iterator[str]:
+        """All entry keys currently on disk (unordered)."""
+        for path in self.root.glob("??/*.npz"):
+            if not path.name.startswith(".tmp-"):
+                yield path.stem
+
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        try:
+            path.unlink(missing_ok=True)
+        except OSError:  # pragma: no cover - e.g. read-only stores
+            pass

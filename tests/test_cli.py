@@ -172,3 +172,146 @@ class TestErrorPaths:
             main(["scenario", "list", "--csv", str(tmp_path / "x.csv")])
         assert exc.value.code == 2
         assert "--csv" in capsys.readouterr().err
+
+
+TINY_MANIFEST = """
+title = "tiny"
+seed = 0
+
+[artifacts.table1]
+kind = "table1"
+
+[artifacts.scenario-overload]
+kind = "scenario"
+scenario = "overload"
+queues = 10
+runs = 2
+delta_ts = [10.0]
+"""
+
+
+class TestReproduceCommand:
+    @pytest.fixture
+    def manifest_path(self, tmp_path):
+        path = tmp_path / "manifest.toml"
+        path.write_text(TINY_MANIFEST)
+        return path
+
+    def test_parsing_defaults(self):
+        args = build_parser().parse_args(["reproduce"])
+        assert args.command == "reproduce"
+        assert args.manifest is None and args.workers == 1
+        assert not args.no_store and args.only is None
+
+    def test_list_prints_artifacts(self, manifest_path, capsys):
+        assert main(
+            ["reproduce", "--manifest", str(manifest_path), "--list"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "scenario-overload" in out
+
+    def test_list_packaged_manifest(self, capsys):
+        assert main(["reproduce", "--list"]) == 0
+        assert "fig5-m100" in capsys.readouterr().out
+
+    def test_tiny_reproduction_writes_outputs(
+        self, manifest_path, tmp_path, capsys
+    ):
+        results = tmp_path / "results"
+        assert main(
+            [
+                "reproduce",
+                "--manifest", str(manifest_path),
+                "--results-dir", str(results),
+                "--workers", "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "TOTAL" in out
+        assert (results / "table1.txt").exists()
+        assert (results / "scenario-overload.csv").exists()
+        assert (results / "scenario-overload.provenance.json").exists()
+        assert (results / ".store").is_dir()  # default store location
+
+    def test_only_unknown_artifact_exits_2(self, manifest_path, capsys):
+        assert main(
+            ["reproduce", "--manifest", str(manifest_path), "--only", "nope"]
+        ) == 2
+        assert "unknown artifact" in capsys.readouterr().err
+
+    def test_invalid_manifest_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.toml"
+        bad.write_text("[artifacts.x]\nkind = 'fig7'\n")
+        assert main(["reproduce", "--manifest", str(bad)]) == 2
+        assert "invalid manifest" in capsys.readouterr().err
+
+    def test_missing_manifest_exits_2(self, tmp_path, capsys):
+        assert main(
+            ["reproduce", "--manifest", str(tmp_path / "absent.toml")]
+        ) == 2
+        assert "invalid manifest" in capsys.readouterr().err
+
+    def test_no_store_skips_cache(self, manifest_path, tmp_path, capsys):
+        results = tmp_path / "results"
+        assert main(
+            [
+                "reproduce",
+                "--manifest", str(manifest_path),
+                "--results-dir", str(results),
+                "--only", "table1",
+                "--no-store",
+            ]
+        ) == 0
+        assert not (results / ".store").exists()
+
+    def test_store_dir_flag_on_sweep_commands(self, tmp_path):
+        for command in ("fig4", "fig5", "fig6"):
+            args = build_parser().parse_args(
+                [command, "--store-dir", str(tmp_path)]
+            )
+            assert args.store_dir == tmp_path
+        assert build_parser().parse_args(["fig5"]).store_dir is None
+
+    def test_scenario_list_rejects_store_dir(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["scenario", "list", "--store-dir", str(tmp_path)])
+        assert exc.value.code == 2
+        assert "--store-dir" in capsys.readouterr().err
+
+    def test_scenario_store_dir_round_trip(self, tmp_path, capsys):
+        argv = [
+            "scenario", "overload",
+            "--queues", "10",
+            "--runs", "2",
+            "--delta-ts", "10",
+            "--store-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0  # warm: served from the store
+        warm = capsys.readouterr().out
+        assert cold == warm
+        assert any((tmp_path / "cache").rglob("*.npz"))
+
+    def test_store_dir_conflicts_with_no_store(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(
+                [
+                    "reproduce",
+                    "--store-dir", str(tmp_path),
+                    "--no-store",
+                ]
+            )
+        assert exc.value.code == 2
+        assert "--no-store" in capsys.readouterr().err
+
+    def test_unregistered_manifest_scenario_exits_2(self, tmp_path, capsys):
+        manifest = tmp_path / "bad-scenario.toml"
+        manifest.write_text(
+            "[artifacts.x]\nkind = 'scenario'\nscenario = 'nope'\n"
+        )
+        assert main(
+            ["reproduce", "--manifest", str(manifest), "--no-store"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "unregistered scenario" in err and "nope" in err

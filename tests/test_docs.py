@@ -1,0 +1,162 @@
+"""Offline documentation consistency checks.
+
+CI builds the MkDocs site with ``mkdocs build --strict`` (which fails on
+broken internal links), but that toolchain is not available in offline
+environments — so these tests re-check the properties that matter
+without it: the nav only references files that exist, every relative
+markdown link in ``docs/`` and ``README.md`` resolves, every
+``::: module`` mkdocstrings directive imports, and the user-facing
+tables (README scenario catalogue, packaged reproduction manifest) stay
+in sync with the code registries.
+"""
+
+from __future__ import annotations
+
+import re
+from importlib import import_module
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS_DIR = REPO_ROOT / "docs"
+README = REPO_ROOT / "README.md"
+MKDOCS_YML = REPO_ROOT / "mkdocs.yml"
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(#[^)\s]*)?\)")
+_AUTODOC_RE = re.compile(r"^::: ([\w.]+)", re.MULTILINE)
+
+
+def _markdown_files() -> list[Path]:
+    return sorted(DOCS_DIR.glob("*.md")) + [README]
+
+
+def _nav_pages() -> list[str]:
+    yaml = pytest.importorskip("yaml", reason="PyYAML (test extra) missing")
+    payload = yaml.safe_load(MKDOCS_YML.read_text())
+    pages: list[str] = []
+
+    def walk(node):
+        if isinstance(node, str):
+            pages.append(node)
+        elif isinstance(node, list):
+            for item in node:
+                walk(item)
+        elif isinstance(node, dict):
+            for value in node.values():
+                walk(value)
+
+    walk(payload.get("nav", []))
+    return pages
+
+
+class TestMkdocsConfig:
+    def test_config_parses(self):
+        yaml = pytest.importorskip(
+            "yaml", reason="PyYAML (test extra) missing"
+        )
+        payload = yaml.safe_load(MKDOCS_YML.read_text())
+        assert payload["site_name"]
+        assert "mkdocstrings" in str(payload["plugins"])
+
+    def test_nav_pages_exist(self):
+        pages = _nav_pages()
+        assert pages, "mkdocs.yml must declare a nav"
+        for page in pages:
+            assert (DOCS_DIR / page).is_file(), f"nav references missing {page}"
+
+    def test_every_docs_page_is_in_nav(self):
+        pages = set(_nav_pages())
+        on_disk = {p.name for p in DOCS_DIR.glob("*.md")}
+        assert on_disk <= pages, f"orphan docs pages: {on_disk - pages}"
+
+    def test_docs_extra_is_declared(self):
+        from repro.store.manifest import tomllib  # 3.10-safe import
+
+        payload = tomllib.loads((REPO_ROOT / "pyproject.toml").read_text())
+        docs_extra = payload["project"]["optional-dependencies"]["docs"]
+        assert any(dep.startswith("mkdocs") for dep in docs_extra)
+
+
+class TestInternalLinks:
+    @pytest.mark.parametrize(
+        "md_file", _markdown_files(), ids=lambda p: p.name
+    )
+    def test_relative_links_resolve(self, md_file):
+        text = md_file.read_text()
+        broken = []
+        for match in _LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            resolved = (md_file.parent / target).resolve()
+            if not resolved.exists():
+                broken.append(target)
+        assert not broken, f"{md_file.name}: broken links {broken}"
+
+
+class TestApiReference:
+    def test_autodoc_targets_import(self):
+        directives = _AUTODOC_RE.findall((DOCS_DIR / "api.md").read_text())
+        assert directives, "api.md must contain mkdocstrings directives"
+        for module in directives:
+            import_module(module)
+
+    def test_store_package_is_documented(self):
+        text = (DOCS_DIR / "api.md").read_text()
+        assert "repro.store" in text
+
+
+class TestPaperMap:
+    def test_referenced_modules_and_tests_exist(self):
+        text = (DOCS_DIR / "paper-map.md").read_text()
+        paths = set(re.findall(r"`((?:repro|tests|benchmarks)/[\w/.]+\.py)`", text))
+        assert paths, "paper-map.md must reference implementation files"
+        missing = []
+        for rel in paths:
+            candidate = (
+                REPO_ROOT / "src" / rel
+                if rel.startswith("repro/")
+                else REPO_ROOT / rel
+            )
+            if not candidate.exists():
+                missing.append(rel)
+        assert not missing, f"paper-map references missing files: {missing}"
+
+    def test_tentpole_example_mapping_present(self):
+        # The ISSUE's canonical example: Eq. 22 contraction.
+        text = (DOCS_DIR / "paper-map.md").read_text()
+        assert "meanfield/local.py" in text
+        assert "tests/test_local_meanfield.py" in text
+
+
+class TestReadmeSync:
+    def test_every_registered_scenario_is_listed(self):
+        from repro.scenarios import available_scenarios
+
+        readme = README.read_text()
+        missing = [
+            name for name in available_scenarios() if f"`{name}`" not in readme
+        ]
+        assert not missing, f"README scenario table is missing {missing}"
+
+    def test_reproduce_quickstart_present(self):
+        readme = README.read_text()
+        assert "repro.experiments.cli reproduce" in readme
+        assert "provenance" in readme
+
+    def test_docs_link_present(self):
+        readme = README.read_text()
+        assert "mkdocs" in readme.lower()
+        assert "docs/index.md" in readme
+
+
+class TestManifestSync:
+    def test_manifest_scenarios_are_registered(self):
+        from repro.scenarios import available_scenarios
+        from repro.store import load_manifest
+
+        registered = set(available_scenarios())
+        for spec in load_manifest().artifacts:
+            if spec.kind == "scenario":
+                assert spec.params["scenario"] in registered
