@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Fail if any registered scenario is missing from docs/workloads.md.
+
+The workload catalog is normative documentation: every name returned by
+``repro.scenarios.available_scenarios()`` must appear as a backticked
+table entry in ``docs/workloads.md``. CI's docs job runs this script;
+``tests/test_docs.py::TestWorkloadCatalog`` runs the same check in the
+tier-1 suite.
+
+Exit status: 0 when the catalog is complete, 1 otherwise (missing names
+are printed).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def missing_scenarios(catalog_path: Path | None = None) -> list[str]:
+    """Registered scenario names absent from the workload catalog."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.scenarios import available_scenarios
+
+    if catalog_path is None:
+        catalog_path = REPO_ROOT / "docs" / "workloads.md"
+    text = catalog_path.read_text()
+    return [
+        name for name in available_scenarios() if f"`{name}`" not in text
+    ]
+
+
+def main() -> int:
+    missing = missing_scenarios()
+    if missing:
+        print(
+            "docs/workloads.md is missing registered scenarios: "
+            + ", ".join(missing),
+            file=sys.stderr,
+        )
+        print(
+            "add a catalog row for each (see the table template in the "
+            "page) and re-run.",
+            file=sys.stderr,
+        )
+        return 1
+    print("scenario catalog is in sync with the registry")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

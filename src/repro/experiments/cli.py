@@ -11,6 +11,7 @@ shell::
     python -m repro.experiments.cli fig6 --queues 100 --runs 5
     python -m repro.experiments.cli scenario list
     python -m repro.experiments.cli scenario heterogeneous-sed --workers 4
+    python -m repro.experiments.cli stream diurnal-stream --horizon 100000
     python -m repro.experiments.cli reproduce --workers 4
 
 Each command prints the regenerated ASCII table and, with ``--csv PATH``,
@@ -20,6 +21,12 @@ bench scale; pass paper-scale values explicitly for a full reproduction.
 (results are bit-identical to ``--workers 1``; see ``docs/scaling.md``).
 ``--store-dir DIR`` attaches a content-addressed shard cache so repeated
 and overlapping sweeps only simulate what is new.
+
+``stream`` runs one registered scenario through the streaming serving
+engine (:mod:`repro.serving`) for an arbitrarily long horizon with
+O(1)-memory online metrics — per-replica drop/throughput/latency-proxy
+summaries plus a bounded windowed time series — instead of a finite
+sweep; see ``docs/serving.md``.
 
 ``reproduce`` regenerates *every* artifact declared in a reproduction
 manifest (default: the packaged ``repro/assets/reproduction.toml``) into
@@ -156,6 +163,43 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--csv", type=Path, default=None)
     _add_workers_flag(ps)
     _add_store_flag(ps)
+
+    pstream = sub.add_parser(
+        "stream",
+        help="stream a registered scenario with O(1)-memory online metrics",
+    )
+    pstream.add_argument("name", help="registered scenario name")
+    pstream.add_argument(
+        "--horizon", type=_positive_int, default=2000,
+        help="decision epochs to stream (memory stays flat at any value)",
+    )
+    pstream.add_argument(
+        "--window", type=_positive_int, default=None,
+        help="operator-series window in epochs (default: horizon // 64)",
+    )
+    pstream.add_argument(
+        "--replicas", type=_positive_int, default=4,
+        help="lock-step Monte-Carlo replicas",
+    )
+    pstream.add_argument(
+        "--delta-t", type=float, default=None,
+        help="broadcast period (default: the scenario grid's first entry)",
+    )
+    pstream.add_argument(
+        "--policy", default=None,
+        help="policy name within the scenario's suite (default: first)",
+    )
+    pstream.add_argument(
+        "--queues", type=_positive_int, default=None,
+        help="override M (N follows the scenario's client rule)",
+    )
+    pstream.add_argument("--seed", type=int, default=0)
+    pstream.add_argument(
+        "--csv", type=Path, default=None,
+        help="write the windowed series as CSV",
+    )
+    _add_workers_flag(pstream)
+    _add_store_flag(pstream)
 
     pr = sub.add_parser(
         "reproduce",
@@ -323,6 +367,33 @@ def main(argv: list[str] | None = None) -> int:
                 )
                 return 2
             _emit(result.format_table(), result, args.csv)
+    elif args.command == "stream":
+        from repro.serving import run_stream_scenario
+
+        if args.delta_t is not None and args.delta_t <= 0:
+            parser.error("--delta-t must be > 0")
+        try:
+            result = run_stream_scenario(
+                args.name,
+                horizon=args.horizon,
+                window=args.window,
+                delta_t=args.delta_t,
+                num_queues=args.queues,
+                num_replicas=args.replicas,
+                policy=args.policy,
+                workers=args.workers,
+                seed=args.seed,
+                store=_open_store(args),
+            )
+        except KeyError as exc:
+            # Unknown scenario or policy: a usage error, not a traceback.
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            print(
+                "hint: 'scenario list' prints the catalogue",
+                file=sys.stderr,
+            )
+            return 2
+        _emit(result.format_table(), result, args.csv)
     elif args.command == "reproduce":
         from repro.store import load_manifest, run_reproduction
 

@@ -42,8 +42,18 @@ from repro.meanfield.local import (
     neighborhood_mixtures,
     observed_distributions,
 )
+from repro.meanfield.delayed import (
+    DelayedMeanFieldPropagator,
+    delayed_arrival_rates,
+    delayed_local_epoch_update,
+    delayed_mean_field_trajectory,
+)
 
 __all__ = [
+    "DelayedMeanFieldPropagator",
+    "delayed_arrival_rates",
+    "delayed_local_epoch_update",
+    "delayed_mean_field_trajectory",
     "LocalMeanFieldTrajectory",
     "local_arrival_rates",
     "local_epoch_update",

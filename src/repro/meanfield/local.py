@@ -147,14 +147,18 @@ def _propagate_per_queue(
     service_rates: np.ndarray,
     delta_t: float,
     nus: np.ndarray,
-) -> tuple[np.ndarray, np.ndarray]:
+    return_transitions: bool = False,
+) -> tuple[np.ndarray, ...]:
     """One exact epoch for every queue's CTMC (one stacked ``expm``).
 
     ``rates[j, z]`` is queue ``j``'s frozen arrival rate given it starts
     the epoch at filling ``z``; the extended generator of
     :func:`repro.meanfield.discretization.extended_generator` is built
     for every ``(j, z)`` pair and exponentiated in one stacked call.
-    Returns ``(nu_next, expected_drops)`` shaped ``(M, S)`` / ``(M,)``.
+    Returns ``(nu_next, expected_drops)`` shaped ``(M, S)`` / ``(M,)``;
+    with ``return_transitions=True`` the per-queue epoch transition
+    matrices ``(M, S, S)`` are appended (consumed by the delay-mixture
+    propagator in :mod:`repro.meanfield.delayed`).
     """
     m, s = rates.shape
     z = np.arange(s - 1)
@@ -180,6 +184,8 @@ def _propagate_per_queue(
     # Round-off guard, as in epoch_update: stay exactly on the simplex.
     nu_next = np.maximum(nu_next, 0.0)
     nu_next /= nu_next.sum(axis=1, keepdims=True)
+    if return_transitions:
+        return nu_next, drops, rows[:, :, :s]
     return nu_next, drops
 
 

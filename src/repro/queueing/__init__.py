@@ -2,8 +2,10 @@
 
 Implements the ``N``-client ``M``-queue system of Section 2 and the
 evaluation procedure of Algorithm 1, plus an event-driven job-level
-simulator used to cross-validate the frozen-rate epoch model and a
-heterogeneous-server extension.
+simulator used to cross-validate the frozen-rate epoch model, a
+heterogeneous-server extension, sparse dispatcher topologies,
+non-stationary workload generators (``workloads``) and stochastic
+observation-delay models (``delays``, ``delayed_env``).
 """
 
 from repro.queueing.arrivals import MarkovModulatedRate
@@ -31,10 +33,32 @@ from repro.queueing.heterogeneous import (
 )
 from repro.queueing.topology import TopologySpec
 from repro.queueing.graph_env import BatchedGraphFiniteEnv
+from repro.queueing.delays import (
+    DelayModel,
+    DeterministicDelay,
+    IIDDelay,
+    MarkovModulatedDelay,
+)
+from repro.queueing.delayed_env import BatchedDelayedFiniteEnv
+from repro.queueing.workloads import (
+    DiurnalRate,
+    FlashCrowdRate,
+    ProfileRate,
+    TraceReplayRate,
+)
 
 __all__ = [
     "TopologySpec",
     "BatchedGraphFiniteEnv",
+    "DelayModel",
+    "DeterministicDelay",
+    "IIDDelay",
+    "MarkovModulatedDelay",
+    "BatchedDelayedFiniteEnv",
+    "ProfileRate",
+    "DiurnalRate",
+    "FlashCrowdRate",
+    "TraceReplayRate",
     "BatchedHeterogeneousFiniteEnv",
     "HeterogeneousFiniteEnv",
     "ServerClassSpec",

@@ -24,15 +24,21 @@ class MarkovModulatedRate:
 
     Parameters
     ----------
-    levels:
-        Arrival-intensity value of each mode, length ``K``.
-    transition_matrix:
+    levels : array_like
+        Arrival-intensity value of each mode, length ``K``; all
+        positive.
+    transition_matrix : array_like
         Row-stochastic ``K x K`` matrix ``P_λ``; ``P[i, j]`` is the
         probability of switching from mode ``i`` to mode ``j`` at the
         next decision epoch.
-    initial_distribution:
+    initial_distribution : array_like, optional
         Distribution of the initial mode; defaults to uniform, matching
         the paper's ``λ_0 ~ Unif({λ_h, λ_l})``.
+
+    See Also
+    --------
+    repro.queueing.workloads : deterministic non-stationary profiles
+        (diurnal, flash crowd, trace replay) behind the same interface.
     """
 
     def __init__(
@@ -90,16 +96,45 @@ class MarkovModulatedRate:
     # ------------------------------------------------------------------
     @property
     def num_modes(self) -> int:
+        """Number of modes ``K`` of the modulating chain."""
         return int(self.levels.size)
 
     def rate(self, mode: int) -> float:
+        """Arrival intensity ``λ`` carried by ``mode``."""
         return float(self.levels[mode])
 
     def sample_initial_mode(self, rng=None) -> int:
+        """Draw the initial mode from the initial distribution.
+
+        Parameters
+        ----------
+        rng : optional
+            Seed or :class:`numpy.random.Generator`.
+
+        Returns
+        -------
+        int
+            Mode index in ``[0, K)``.
+        """
         rng = as_generator(rng)
         return int(rng.choice(self.num_modes, p=self.initial_distribution))
 
     def step_mode(self, mode: int, rng=None) -> int:
+        """Advance the chain one decision epoch from ``mode``.
+
+        Parameters
+        ----------
+        mode : int
+            Current mode index (range-checked).
+        rng : optional
+            Seed or :class:`numpy.random.Generator`.
+
+        Returns
+        -------
+        int
+            The next mode, drawn from row ``mode`` of the transition
+            matrix.
+        """
         if not 0 <= mode < self.num_modes:
             raise ValueError(f"mode {mode} out of range [0, {self.num_modes})")
         rng = as_generator(rng)
@@ -112,6 +147,18 @@ class MarkovModulatedRate:
         One uniform draw per replica against the initial-distribution
         CDF — the batched environments use this instead of ``count``
         :meth:`sample_initial_mode` calls.
+
+        Parameters
+        ----------
+        count : int
+            Replica count ``E`` (>= 1).
+        rng : optional
+            Seed or :class:`numpy.random.Generator`.
+
+        Returns
+        -------
+        ndarray
+            Mode indices, shape ``(E,)``.
         """
         if count < 1:
             raise ValueError(f"count must be >= 1, got {count}")
@@ -121,7 +168,21 @@ class MarkovModulatedRate:
         return (rng.random(count)[:, None] > cum[None, :]).sum(axis=1)
 
     def step_modes_batch(self, modes: np.ndarray, rng=None) -> np.ndarray:
-        """Advance every replica's mode chain independently (``(E,)``)."""
+        """Advance every replica's mode chain independently.
+
+        Parameters
+        ----------
+        modes : ndarray
+            Current per-replica modes, shape ``(E,)`` (range-checked).
+        rng : optional
+            Seed or :class:`numpy.random.Generator`.
+
+        Returns
+        -------
+        ndarray
+            Next modes, shape ``(E,)`` — one inverse-CDF draw per
+            replica.
+        """
         modes = np.asarray(modes)
         if modes.min(initial=0) < 0 or modes.max(initial=0) >= self.num_modes:
             raise ValueError(f"modes out of range [0, {self.num_modes})")
@@ -140,16 +201,33 @@ class MarkovModulatedRate:
         return self
 
     def stationary_distribution(self) -> np.ndarray:
+        """Stationary mode distribution of the modulating chain."""
         return mmpp_stationary_distribution(self.transition_matrix)
 
     def stationary_mean_rate(self) -> float:
+        """Long-run mean intensity ``E[λ_t]`` (sets the offered load ρ)."""
         return float(self.stationary_distribution() @ self.levels)
 
     def max_rate(self) -> float:
+        """Largest level — the propagator tabulation bound."""
         return float(self.levels.max())
 
     def simulate_modes(self, num_steps: int, rng=None) -> np.ndarray:
-        """Sample a mode trajectory of length ``num_steps`` (incl. t=0)."""
+        """Sample a mode trajectory of length ``num_steps`` (incl. t=0).
+
+        Parameters
+        ----------
+        num_steps : int
+            Trajectory length; 0 returns an empty array.
+        rng : optional
+            Seed or :class:`numpy.random.Generator`.
+
+        Returns
+        -------
+        ndarray
+            Mode indices, shape ``(num_steps,)`` — the scripted input
+            for :class:`ScriptedRate` / Theorem-1 replays.
+        """
         rng = as_generator(rng)
         modes = np.empty(num_steps, dtype=np.intp)
         if num_steps == 0:
@@ -175,7 +253,19 @@ class ScriptedRate(MarkovModulatedRate):
     trajectories. This subclass replays a given sequence (repeating the
     final mode beyond its end) while keeping the full
     :class:`MarkovModulatedRate` interface.
+
+    Parameters
+    ----------
+    levels : array_like
+        Arrival-intensity value of each mode, length ``K``.
+    mode_sequence : array_like
+        Mode indices to replay, in ``[0, K)``; the final mode repeats
+        past the end.
     """
+
+    #: Replay-irrelevant mutable state: environments reset the cursor
+    #: before use, so it stays out of the experiment-store fingerprint.
+    __fingerprint_exclude__ = ("_cursor",)
 
     def __init__(self, levels, mode_sequence) -> None:
         levels = np.asarray(levels, dtype=np.float64)
@@ -194,7 +284,17 @@ class ScriptedRate(MarkovModulatedRate):
     def from_process(
         cls, process: MarkovModulatedRate, num_steps: int, rng=None
     ) -> "ScriptedRate":
-        """Freeze one random trajectory of ``process``."""
+        """Freeze one random trajectory of ``process``.
+
+        Parameters
+        ----------
+        process : MarkovModulatedRate
+            Chain to sample the trajectory from.
+        num_steps : int
+            Trajectory length.
+        rng : optional
+            Seed or :class:`numpy.random.Generator`.
+        """
         modes = process.simulate_modes(num_steps, rng)
         return cls(process.levels, modes)
 
@@ -226,4 +326,5 @@ class ScriptedRate(MarkovModulatedRate):
 
     @property
     def mode_sequence(self) -> np.ndarray:
+        """Copy of the scripted mode trajectory."""
         return self._sequence.copy()

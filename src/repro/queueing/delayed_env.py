@@ -1,0 +1,164 @@
+"""Batched finite system with stochastic per-dispatcher observation delays.
+
+:class:`BatchedDelayedFiniteEnv` generalizes
+:class:`repro.queueing.batched_env.BatchedFiniteSystemEnv` from the
+paper's synchronous broadcast (every dispatcher routes against the
+epoch-start states) to a :class:`repro.queueing.delays.DelayModel`:
+each epoch, a fraction of the dispatcher population holds the snapshot
+broadcast ``k`` epochs ago, for ``k = 0..K``.
+
+Mechanically the environment keeps a ring buffer of the last ``K + 1``
+queue-state snapshots per replica. Under per-packet randomization
+(the paper's experimental setting and the only mode supported here),
+each arriving packet's dispatcher has snapshot age ``k`` with the
+epoch's population fraction ``w_k``, so by Poisson thinning queue ``j``
+receives the frozen rate
+
+    λ_j = M λ_t · Σ_k w_k · f_k[j]
+
+where ``f_k`` are the per-queue routing fractions computed against the
+age-``k`` snapshot (one call into the standard client kernel per age
+with positive mass). When the delay model is a point mass at age 0 the
+single kernel call consumes the generator stream exactly like the
+undelayed environment — the two are **bit-identical** under a shared
+seed (tested in ``tests/test_delays.py``).
+
+The upper-level policy is still queried on the *current* broadcast
+(``H_t``): the generalization targets the dispatchers' queue-state
+observations, which is where the paper's delay sensitivity lives; with
+the stationary policies used by the stochastic-delay scenarios the
+distinction is moot. The matching mean-field propagator is
+:mod:`repro.meanfield.delayed`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.queueing.batched_env import _BatchedQueueSystemBase, RulesLike
+from repro.queueing.clients import per_packet_rate_fractions_batched
+from repro.queueing.delays import DelayModel, DeterministicDelay
+
+__all__ = ["BatchedDelayedFiniteEnv"]
+
+
+class BatchedDelayedFiniteEnv(_BatchedQueueSystemBase):
+    """``E`` replicas of the finite system under stochastic observation delays.
+
+    Parameters
+    ----------
+    config : SystemConfig
+        System parameters; ``config.delta_t`` remains the broadcast
+        period (snapshot ages are multiples of it).
+    num_replicas : int
+        Lock-step replica count ``E``.
+    delay_model : DelayModel, optional
+        Snapshot-age distribution; defaults to
+        :class:`~repro.queueing.delays.DeterministicDelay` (age 0), the
+        paper's model.
+    arrival_process, service_rates, seed :
+        As in the batched base environment.
+    per_packet_randomization : bool, optional
+        Must remain ``True``: committed-choice routing would tie one
+        epoch-long commitment to a single snapshot age per client,
+        which is a different (and less interesting) model than the
+        per-packet population mixture implemented here.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        num_replicas: int,
+        delay_model: DelayModel | None = None,
+        arrival_process=None,
+        service_rates: np.ndarray | None = None,
+        per_packet_randomization: bool = True,
+        seed=None,
+    ) -> None:
+        if not per_packet_randomization:
+            raise ValueError(
+                "BatchedDelayedFiniteEnv models per-packet snapshot-age "
+                "mixtures; committed-choice routing is not supported"
+            )
+        super().__init__(
+            config,
+            num_replicas,
+            arrival_process=arrival_process,
+            service_rates=service_rates,
+            per_packet_randomization=True,
+            seed=seed,
+        )
+        self.delay_model = (
+            delay_model if delay_model is not None else DeterministicDelay(0)
+        )
+        self._regimes = np.zeros(self.num_replicas, dtype=np.intp)
+        # Ring buffer of the last K+1 snapshots, newest last; appended
+        # after every epoch so element -1-k is the age-k snapshot.
+        self._snapshots: deque[np.ndarray] = deque(
+            maxlen=self.delay_model.max_delay + 1
+        )
+
+    @property
+    def delay_regimes(self) -> np.ndarray:
+        """Per-replica delay-regime indices, shape ``(E,)``."""
+        return self._regimes.copy()
+
+    def snapshot(self, age: int) -> np.ndarray:
+        """The age-``age`` queue-state snapshot, shape ``(E, M)``.
+
+        Before ``age`` epochs have elapsed the oldest available snapshot
+        (the initial state) is returned — the system starts synced.
+        """
+        if not 0 <= age <= self.delay_model.max_delay:
+            raise ValueError(
+                f"age must lie in [0, {self.delay_model.max_delay}]"
+            )
+        if not self._snapshots:
+            raise RuntimeError("environment must be reset before use")
+        return self._snapshots[max(len(self._snapshots) - 1 - age, 0)]
+
+    def reset(self, seed=None) -> np.ndarray:
+        hist = super().reset(seed)
+        self._snapshots.clear()
+        self._snapshots.append(self._states.copy())
+        self._regimes = self.delay_model.sample_initial_regimes_batch(
+            self.num_replicas,
+            self._rng if self.delay_model.num_regimes > 1 else None,
+        )
+        return hist
+
+    def _frozen_rates(self, rules: RulesLike) -> np.ndarray:
+        lam = self.current_rates[:, None]
+        if self.delay_model.is_point_mass_at_zero:
+            # Paper fast path: one kernel call on the current snapshot,
+            # no extra draws — bit-identical to the undelayed env.
+            fractions = per_packet_rate_fractions_batched(
+                self._states, self.config.num_clients, rules, self._rng
+            )
+            return self.config.num_queues * lam * fractions
+        weights = self.delay_model.sample_fractions_batch(
+            self._regimes, self.config.num_clients, self._rng
+        )
+        mixed = np.zeros((self.num_replicas, self.config.num_queues))
+        for age in range(self.delay_model.max_delay + 1):
+            w = weights[:, age]
+            if not np.any(w > 0.0):
+                continue
+            fractions = per_packet_rate_fractions_batched(
+                self.snapshot(age), self.config.num_clients, rules, self._rng
+            )
+            mixed += w[:, None] * fractions
+        return self.config.num_queues * lam * mixed
+
+    def step(self, rules: RulesLike):
+        hist, rewards, info = super().step(rules)
+        self._snapshots.append(self._states.copy())
+        info["delay_regimes"] = self._regimes
+        if self.delay_model.num_regimes > 1:
+            self._regimes = self.delay_model.step_regimes_batch(
+                self._regimes, self._rng
+            )
+        return hist, rewards, info

@@ -1,0 +1,301 @@
+"""Stochastic observation-delay models for dispatchers.
+
+The paper's dispatchers act on queue-state information that is *exactly*
+``Δt`` old: states are broadcast synchronously at every epoch start, so
+within an epoch every routing decision uses the same, uniformly aged
+snapshot. Real clusters are messier — gossip rounds are lost, regional
+links degrade, monitoring pipelines back up — and the observation age
+becomes a random variable that differs across dispatchers and drifts
+over time. "Mean Field Queues with Delayed Information" (Doldo &
+Pender) analyzes exactly this regime for fluid limits.
+
+This module generalizes the fixed-``Δt`` information structure to a
+*delay distribution* over snapshot ages measured in whole epochs:
+
+* :class:`DeterministicDelay` — every dispatcher reads the snapshot from
+  ``k`` epochs back. ``k = 0`` is the paper's model (observations are at
+  most ``Δt`` old), and is recognized as a fast path that is
+  bit-identical to the undelayed environments.
+* :class:`IIDDelay` — each epoch, each dispatcher's snapshot age is an
+  independent draw from a fixed probability mass function on
+  ``{0, ..., K}``.
+* :class:`MarkovModulatedDelay` — the delay pmf itself switches between
+  regimes (e.g. *synced* vs *degraded*) following an exogenous Markov
+  chain, one regime chain per simulated replica.
+
+The finite-system counterpart is
+:class:`repro.queueing.delayed_env.BatchedDelayedFiniteEnv`; the
+mean-field counterpart is the delay-mixture propagator in
+:mod:`repro.meanfield.delayed`. Both consume the same model objects, so
+a scenario definition fixes the information structure for simulation
+and limit analysis at once. See ``docs/serving.md`` for the modeling
+assumptions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "DelayModel",
+    "DeterministicDelay",
+    "IIDDelay",
+    "MarkovModulatedDelay",
+]
+
+
+def _validate_pmf(pmf) -> np.ndarray:
+    pmf = np.asarray(pmf, dtype=np.float64)
+    if pmf.ndim != 1 or pmf.size < 1:
+        raise ValueError("delay pmf must be a non-empty 1-D array")
+    if np.any(pmf < 0) or not np.isclose(pmf.sum(), 1.0):
+        raise ValueError("delay pmf must be a probability distribution")
+    return pmf / pmf.sum()
+
+
+class DelayModel:
+    """Distribution of per-dispatcher snapshot ages, in whole epochs.
+
+    A delay model answers two questions every epoch:
+
+    1. Which *regime* is each replica's information system in
+       (:meth:`step_regimes_batch`)? Regimes evolve exogenously, like
+       the arrival-mode chain of
+       :class:`repro.queueing.arrivals.MarkovModulatedRate`.
+    2. What fraction of each replica's dispatcher population holds a
+       snapshot of age ``k`` (:meth:`sample_fractions_batch`)?
+
+    Parameters
+    ----------
+    pmfs : array_like
+        Delay distributions per regime, shape ``(R, K + 1)``; entry
+        ``[r, k]`` is the probability that a dispatcher's snapshot is
+        ``k`` epochs old in regime ``r``.
+    transition_matrix : array_like
+        Row-stochastic ``(R, R)`` regime-switching matrix.
+    initial_distribution : array_like, optional
+        Initial regime distribution; defaults to uniform.
+
+    Notes
+    -----
+    A snapshot of age ``k`` means the dispatcher routes against the
+    queue states broadcast ``k`` epochs before the current one; ``k = 0``
+    is the paper's synchronous broadcast. The model is *exchangeable*
+    across dispatchers — only the population fractions per age matter
+    for the frozen-rate thinning, which is what
+    :meth:`sample_fractions_batch` returns.
+    """
+
+    def __init__(
+        self,
+        pmfs,
+        transition_matrix,
+        initial_distribution=None,
+    ) -> None:
+        pmfs = np.asarray(pmfs, dtype=np.float64)
+        if pmfs.ndim != 2 or pmfs.size < 1:
+            raise ValueError("pmfs must have shape (num_regimes, K + 1)")
+        self.pmfs = np.stack([_validate_pmf(row) for row in pmfs])
+        r = self.pmfs.shape[0]
+        self.transition_matrix = np.asarray(
+            transition_matrix, dtype=np.float64
+        )
+        if self.transition_matrix.shape != (r, r):
+            raise ValueError(
+                f"transition matrix must be ({r}, {r}), "
+                f"got {self.transition_matrix.shape}"
+            )
+        if np.any(self.transition_matrix < 0) or not np.allclose(
+            self.transition_matrix.sum(axis=1), 1.0
+        ):
+            raise ValueError("transition matrix rows must be distributions")
+        if initial_distribution is None:
+            initial_distribution = np.full(r, 1.0 / r)
+        self.initial_distribution = _validate_pmf(initial_distribution)
+        if self.initial_distribution.size != r:
+            raise ValueError("initial distribution has wrong length")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_regimes(self) -> int:
+        """Number of delay regimes ``R``."""
+        return int(self.pmfs.shape[0])
+
+    @property
+    def max_delay(self) -> int:
+        """Largest supported snapshot age ``K`` (epochs)."""
+        return int(self.pmfs.shape[1] - 1)
+
+    @property
+    def is_point_mass_at_zero(self) -> bool:
+        """``True`` iff every regime puts all mass on age 0.
+
+        This is the paper's fixed-``Δt`` information structure; callers
+        use it to select code paths that are bit-identical to the
+        undelayed environments (no extra random draws).
+        """
+        return bool(np.all(self.pmfs[:, 0] == 1.0))
+
+    def pmf(self, regime: int = 0) -> np.ndarray:
+        """Delay pmf of one regime, shape ``(K + 1,)``."""
+        if not 0 <= regime < self.num_regimes:
+            raise ValueError(
+                f"regime {regime} out of range [0, {self.num_regimes})"
+            )
+        return self.pmfs[regime].copy()
+
+    def mean_delay(self, regime: int = 0) -> float:
+        """Expected snapshot age (in epochs) within one regime."""
+        ages = np.arange(self.max_delay + 1)
+        return float(self.pmf(regime) @ ages)
+
+    def stationary_pmf(self) -> np.ndarray:
+        """Delay pmf under the regime chain's stationary distribution."""
+        from repro.meanfield.analytic import mmpp_stationary_distribution
+
+        pi = mmpp_stationary_distribution(self.transition_matrix)
+        return pi @ self.pmfs
+
+    # -- regime chain (mirrors MarkovModulatedRate's batched API) -------
+    def sample_initial_regimes_batch(self, count: int, rng=None) -> np.ndarray:
+        """Independent initial regimes for ``count`` replicas, ``(E,)``."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        if self.num_regimes == 1:
+            return np.zeros(count, dtype=np.intp)
+        rng = as_generator(rng)
+        cum = np.cumsum(self.initial_distribution)
+        cum[-1] = 1.0
+        return (rng.random(count)[:, None] > cum[None, :]).sum(axis=1)
+
+    def step_regimes_batch(self, regimes: np.ndarray, rng=None) -> np.ndarray:
+        """Advance every replica's regime chain independently, ``(E,)``."""
+        regimes = np.asarray(regimes)
+        if (
+            regimes.min(initial=0) < 0
+            or regimes.max(initial=0) >= self.num_regimes
+        ):
+            raise ValueError(f"regimes out of range [0, {self.num_regimes})")
+        if self.num_regimes == 1:
+            return np.zeros(regimes.size, dtype=np.intp)
+        rng = as_generator(rng)
+        cum = np.cumsum(self.transition_matrix, axis=1)
+        cum[:, -1] = 1.0
+        return (rng.random(regimes.size)[:, None] > cum[regimes]).sum(axis=1)
+
+    # -- dispatcher-population split ------------------------------------
+    def sample_fractions_batch(
+        self, regimes: np.ndarray, num_clients: int, rng=None
+    ) -> np.ndarray:
+        """Per-replica dispatcher fractions per snapshot age, ``(E, K+1)``.
+
+        Each replica's ``N`` dispatchers are split over the ages by one
+        multinomial draw against its regime's pmf — the finite-``N``
+        fluctuation of the information population. Degenerate pmfs
+        (point masses) skip the draw entirely, which keeps the
+        fixed-delay model bit-identical to the undelayed stream.
+        """
+        regimes = np.asarray(regimes)
+        if num_clients < 1:
+            raise ValueError("num_clients must be >= 1")
+        pmfs = self.pmfs[regimes]
+        if np.all((pmfs == 0.0) | (pmfs == 1.0)):
+            return pmfs.copy()
+        rng = as_generator(rng)
+        counts = np.stack(
+            [rng.multinomial(num_clients, row) for row in pmfs]
+        )
+        return counts.astype(np.float64) / num_clients
+
+    def replica(self) -> "DelayModel":
+        """Model instance for an independent environment clone.
+
+        The base model is memoryless (regime state lives in the
+        environment, not the model), so clones share one instance.
+        """
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(K={self.max_delay}, "
+            f"regimes={self.num_regimes})"
+        )
+
+
+class DeterministicDelay(DelayModel):
+    """Every dispatcher's snapshot is exactly ``k`` epochs old.
+
+    Parameters
+    ----------
+    k : int
+        Fixed snapshot age in epochs. ``k = 0`` reproduces the paper's
+        synchronous-broadcast model exactly (and the delayed
+        environment/propagator are bit-identical to / within 1e-10 of
+        their undelayed counterparts in that case).
+    """
+
+    def __init__(self, k: int = 0) -> None:
+        k = int(k)
+        if k < 0:
+            raise ValueError(f"delay must be >= 0 epochs, got {k}")
+        pmf = np.zeros(k + 1)
+        pmf[k] = 1.0
+        super().__init__(pmf[None, :], np.ones((1, 1)))
+        self.k = k
+
+
+class IIDDelay(DelayModel):
+    """Per-dispatcher i.i.d. snapshot ages with a fixed pmf.
+
+    Parameters
+    ----------
+    pmf : array_like
+        Probability of each snapshot age ``0..K``, length ``K + 1``.
+    """
+
+    def __init__(self, pmf) -> None:
+        pmf = _validate_pmf(pmf)
+        super().__init__(pmf[None, :], np.ones((1, 1)))
+
+
+class MarkovModulatedDelay(DelayModel):
+    """Delay pmf switching between regimes via an exogenous Markov chain.
+
+    The canonical instance models a monitoring plane that is usually
+    *synced* (most dispatchers at age 0) but occasionally enters a
+    *degraded* regime where snapshot ages spread out — see
+    :meth:`synced_degraded`.
+    """
+
+    @classmethod
+    def synced_degraded(
+        cls,
+        degraded_pmf=(0.2, 0.3, 0.3, 0.2),
+        p_degrade: float = 0.05,
+        p_recover: float = 0.25,
+    ) -> "MarkovModulatedDelay":
+        """Two-regime model: synced (age 0) vs degraded (spread ages).
+
+        Parameters
+        ----------
+        degraded_pmf : array_like
+            Snapshot-age distribution while degraded.
+        p_degrade, p_recover : float
+            Per-epoch switching probabilities synced→degraded and
+            degraded→synced.
+        """
+        degraded = _validate_pmf(degraded_pmf)
+        synced = np.zeros_like(degraded)
+        synced[0] = 1.0
+        if not 0.0 <= p_degrade <= 1.0 or not 0.0 <= p_recover <= 1.0:
+            raise ValueError("switching probabilities must lie in [0, 1]")
+        return cls(
+            pmfs=np.stack([synced, degraded]),
+            transition_matrix=[
+                [1.0 - p_degrade, p_degrade],
+                [p_recover, 1.0 - p_recover],
+            ],
+            initial_distribution=[1.0, 0.0],
+        )

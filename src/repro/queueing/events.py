@@ -34,18 +34,29 @@ def simulate_epoch_event_driven(
     sampled: np.ndarray | None = None,
     rule: DecisionRule | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Simulate one epoch event by event.
+    """Simulate one epoch event by event (single global clock).
 
     Parameters
     ----------
-    states:
-        Epoch-start queue states, shape ``(M,)``.
-    committed:
+    states : ndarray
+        Epoch-start queue states, shape ``(M,)``, entries in
+        ``[0, buffer_size]``.
+    committed : ndarray
         Per-client committed queue index, shape ``(N,)`` — output of
         :func:`repro.queueing.clients.sample_client_choices`.
-    lam:
+    lam : float
         Per-queue arrival intensity ``λ_t`` (system rate is ``M λ_t``).
-    sampled, rule:
+    service_rates : ndarray or float
+        Exponential service rate per queue (scalars broadcast); must be
+        positive.
+    delta_t : float
+        Epoch length: the simulated time span.
+    buffer_size : int
+        Queue capacity ``B``; arrivals at a full queue are dropped.
+    rng : optional
+        Seed or :class:`numpy.random.Generator` driving the event
+        clock.
+    sampled, rule : ndarray, DecisionRule, optional
         When both are given, per-packet randomization is used: each
         arriving packet re-samples its slot ``u ~ h(·|z̄_i)`` from the
         client's epoch-start observation instead of using the committed
@@ -53,7 +64,15 @@ def simulate_epoch_event_driven(
 
     Returns
     -------
-    ``(new_states, drops)`` per queue.
+    (ndarray, ndarray)
+        ``(new_states, drops)``: epoch-end states and dropped-packet
+        counts, each shape ``(M,)``.
+
+    Raises
+    ------
+    ValueError
+        On out-of-range states/indices, non-positive rates or epoch
+        length, or a half-specified per-packet mode.
     """
     rng = as_generator(rng)
     states = np.asarray(states)

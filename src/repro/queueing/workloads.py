@@ -1,0 +1,346 @@
+"""Non-stationary workload generators for streaming horizons.
+
+The paper's arrival process is a two-level Markov-modulated chain
+(Eq. 32-33). Production traffic adds *structured* non-stationarity on
+top: diurnal ramps, flash crowds, and recorded traces — the regimes
+"Learning and balancing unknown loads in large-scale systems"
+(Goldsztajn et al.) motivates. This module layers those shapes on the
+:class:`repro.queueing.arrivals.MarkovModulatedRate` interface, so every
+environment (dense, graph, heterogeneous, delayed) and the streaming
+engine consume them unchanged:
+
+* :class:`DiurnalRate` — a sinusoidal day/night cycle, quantized onto a
+  per-epoch level grid (piecewise-constant within epochs, exactly
+  periodic, O(period) memory for any horizon).
+* :class:`FlashCrowdRate` — baseline traffic with one spike: a linear
+  ramp to a peak followed by a geometric decay back to baseline.
+* :class:`TraceReplayRate` — replay a measured per-epoch rate series
+  from a CSV or NPZ file, optionally looping.
+
+All three are *deterministic profiles*: like
+:class:`repro.queueing.arrivals.ScriptedRate` they advance one cursor
+per epoch and broadcast the same level to every replica (the
+non-stationarity is an exogenous, shared signal, not per-replica
+noise). Memory is O(profile length), independent of the simulated
+horizon — the property the streaming engine's O(1)-memory guarantee
+builds on. See ``docs/workloads.md`` for the catalog and knobs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.queueing.arrivals import MarkovModulatedRate
+
+__all__ = ["ProfileRate", "DiurnalRate", "FlashCrowdRate", "TraceReplayRate"]
+
+
+class ProfileRate(MarkovModulatedRate):
+    """Deterministic per-epoch rate profile behind the arrival-chain API.
+
+    Parameters
+    ----------
+    levels : array_like
+        Distinct positive rate values, length ``L``. Mode ``m`` carries
+        rate ``levels[m]``.
+    cyclic : bool
+        Whether :meth:`mode_at` wraps past the profile end (periodic
+        profiles) or clamps at the final entry (one-shot profiles that
+        settle into a terminal level).
+
+    Notes
+    -----
+    Subclasses implement :meth:`mode_at`, mapping an epoch index to a
+    mode; the class supplies the cursor bookkeeping that makes the
+    profile drop into any environment in place of a random chain. The
+    mode is *shared* across replicas of a batched environment (one
+    cursor advanced once per epoch), mirroring
+    :class:`~repro.queueing.arrivals.ScriptedRate`.
+    """
+
+    #: The playback cursor is reset by every environment ``reset()``,
+    #: so it never affects a run's random streams — keep it out of the
+    #: experiment-store fingerprint (a shared instance mutated by one
+    #: run must resolve the same cached shards on the next).
+    __fingerprint_exclude__ = ("_cursor",)
+
+    def __init__(self, levels, cyclic: bool) -> None:
+        levels = np.asarray(levels, dtype=np.float64)
+        # The base class requires a valid transition matrix; the profile
+        # never consults it (modes are a function of the epoch index).
+        super().__init__(levels, np.eye(levels.size))
+        self.cyclic = bool(cyclic)
+        self._cursor = 0
+
+    # -- deterministic profile interface --------------------------------
+    def mode_at(self, t: int) -> int:
+        """Mode index at epoch ``t`` (deterministic)."""
+        raise NotImplementedError
+
+    def profile_length(self) -> int:
+        """Epochs before the profile repeats (cyclic) or settles."""
+        return self.num_modes
+
+    def rate_at(self, t: int) -> float:
+        """Arrival intensity at epoch ``t`` — the profile being replayed."""
+        return float(self.levels[self.mode_at(int(t))])
+
+    # -- arrival-chain API (cursor semantics like ScriptedRate) ---------
+    def sample_initial_mode(self, rng=None) -> int:
+        self._cursor = 0
+        return self.mode_at(0)
+
+    def step_mode(self, mode: int, rng=None) -> int:
+        self._cursor += 1
+        return self.mode_at(self._cursor)
+
+    def sample_initial_modes_batch(self, count: int, rng=None) -> np.ndarray:
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        return np.full(count, self.sample_initial_mode(rng), dtype=np.intp)
+
+    def step_modes_batch(self, modes: np.ndarray, rng=None) -> np.ndarray:
+        modes = np.asarray(modes)
+        return np.full(
+            modes.size, self.step_mode(int(modes[0]), rng), dtype=np.intp
+        )
+
+    def simulate_modes(self, num_steps: int, rng=None) -> np.ndarray:
+        """The (deterministic) mode trajectory of length ``num_steps``."""
+        return np.asarray(
+            [self.mode_at(t) for t in range(int(num_steps))], dtype=np.intp
+        )
+
+    def replica(self) -> "ProfileRate":
+        """Fresh replay of the same profile (own cursor)."""
+        import copy
+
+        clone = copy.copy(self)
+        clone._cursor = 0
+        return clone
+
+    # -- long-run statistics --------------------------------------------
+    def stationary_distribution(self) -> np.ndarray:
+        """Time-average mode occupancy over one profile period.
+
+        Cyclic profiles average over one period; one-shot profiles are
+        eventually constant, so all long-run mass sits on the terminal
+        mode.
+        """
+        if not self.cyclic:
+            weights = np.zeros(self.num_modes)
+            weights[self.mode_at(self.profile_length() - 1)] = 1.0
+            return weights
+        modes = [self.mode_at(t) for t in range(self.profile_length())]
+        return np.bincount(modes, minlength=self.num_modes) / len(modes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(levels={self.num_modes}, "
+            f"cyclic={self.cyclic})"
+        )
+
+
+class DiurnalRate(ProfileRate):
+    """Sinusoidal day/night arrival cycle.
+
+    The intensity at epoch ``t`` is the sinusoid
+    ``mean + amplitude * sin(2π (t + phase) / period)`` sampled at epoch
+    starts (piecewise-constant within epochs, matching the
+    frozen-rate epoch model).
+
+    Parameters
+    ----------
+    mean : float
+        Cycle-average per-queue arrival intensity.
+    amplitude : float
+        Peak deviation from the mean; must leave the trough positive.
+    period : int
+        Cycle length in epochs (one simulated "day").
+    phase : float, optional
+        Epoch offset of the cycle start (fractions allowed).
+    """
+
+    def __init__(
+        self,
+        mean: float,
+        amplitude: float,
+        period: int,
+        phase: float = 0.0,
+    ) -> None:
+        period = int(period)
+        if period < 2:
+            raise ValueError(f"period must be >= 2 epochs, got {period}")
+        if mean <= 0:
+            raise ValueError(f"mean rate must be > 0, got {mean}")
+        if not 0 <= amplitude < mean:
+            raise ValueError(
+                "amplitude must satisfy 0 <= amplitude < mean "
+                f"(got amplitude={amplitude}, mean={mean})"
+            )
+        t = np.arange(period, dtype=np.float64)
+        levels = mean + amplitude * np.sin(2.0 * np.pi * (t + phase) / period)
+        super().__init__(levels, cyclic=True)
+        self.mean = float(mean)
+        self.amplitude = float(amplitude)
+        self.period = period
+        self.phase = float(phase)
+
+    def mode_at(self, t: int) -> int:
+        return int(t % self.period)
+
+    def profile_length(self) -> int:
+        return self.period
+
+
+class FlashCrowdRate(ProfileRate):
+    """Baseline traffic with one flash-crowd spike.
+
+    The intensity holds at ``base_rate``, ramps linearly to
+    ``peak_rate`` over ``ramp_epochs`` starting at ``spike_epoch``, then
+    decays geometrically back toward baseline with per-epoch factor
+    ``decay`` (clamped to baseline once within 1% of it). After the
+    spike the profile is constant at baseline for any horizon.
+
+    Parameters
+    ----------
+    base_rate : float
+        Pre- and post-spike per-queue intensity.
+    peak_rate : float
+        Intensity at the top of the spike (may exceed the service rate —
+        transient overload is the point of the scenario).
+    spike_epoch : int
+        Epoch at which the ramp starts.
+    ramp_epochs : int
+        Ramp duration; the peak is reached at ``spike_epoch + ramp_epochs``.
+    decay : float, optional
+        Per-epoch geometric decay factor of the excess over baseline.
+    """
+
+    def __init__(
+        self,
+        base_rate: float,
+        peak_rate: float,
+        spike_epoch: int,
+        ramp_epochs: int = 5,
+        decay: float = 0.9,
+    ) -> None:
+        if base_rate <= 0:
+            raise ValueError(f"base_rate must be > 0, got {base_rate}")
+        if peak_rate <= base_rate:
+            raise ValueError(
+                f"peak_rate must exceed base_rate "
+                f"(got {peak_rate} <= {base_rate})"
+            )
+        spike_epoch = int(spike_epoch)
+        ramp_epochs = int(ramp_epochs)
+        if spike_epoch < 0 or ramp_epochs < 1:
+            raise ValueError("spike_epoch must be >= 0 and ramp_epochs >= 1")
+        if not 0.0 < decay < 1.0:
+            raise ValueError(f"decay must lie in (0, 1), got {decay}")
+        profile = [base_rate] * (spike_epoch + 1)
+        for i in range(1, ramp_epochs + 1):
+            profile.append(
+                base_rate + (peak_rate - base_rate) * i / ramp_epochs
+            )
+        excess = peak_rate - base_rate
+        while excess > 0.01 * base_rate:
+            excess *= decay
+            profile.append(base_rate + excess)
+        profile.append(base_rate)  # terminal level: back to baseline
+        super().__init__(np.asarray(profile), cyclic=False)
+        self.base_rate = float(base_rate)
+        self.peak_rate = float(peak_rate)
+        self.spike_epoch = spike_epoch
+        self.ramp_epochs = ramp_epochs
+        self.decay = float(decay)
+
+    def mode_at(self, t: int) -> int:
+        return int(min(t, self.num_modes - 1))
+
+
+class TraceReplayRate(ProfileRate):
+    """Replay a measured per-epoch arrival-rate series.
+
+    Parameters
+    ----------
+    rates : array_like
+        One positive per-queue intensity per epoch.
+    loop : bool, optional
+        Wrap past the trace end (default) or hold the final value.
+
+    Notes
+    -----
+    Memory is the trace length — bounded by the input file, independent
+    of the simulated horizon. Build from files with :meth:`from_csv`
+    (one column of rates, ``#`` comments and a non-numeric header row
+    skipped) or :meth:`from_npz`.
+    """
+
+    def __init__(self, rates, loop: bool = True) -> None:
+        rates = np.asarray(rates, dtype=np.float64).ravel()
+        if rates.size < 1:
+            raise ValueError("trace must contain at least one rate")
+        super().__init__(rates, cyclic=bool(loop))
+        self.loop = bool(loop)
+
+    def mode_at(self, t: int) -> int:
+        if self.loop:
+            return int(t % self.num_modes)
+        return int(min(t, self.num_modes - 1))
+
+    @classmethod
+    def from_csv(
+        cls, path: str | Path, column: int = 0, loop: bool = True
+    ) -> "TraceReplayRate":
+        """Load a trace from a CSV file (one rate per row).
+
+        Parameters
+        ----------
+        path : str or Path
+            CSV file; ``#`` comment lines are skipped, and a single
+            non-numeric header row is tolerated.
+        column : int, optional
+            Zero-based column holding the rates.
+        """
+        rates = []
+        data_rows = 0
+        for lineno, line in enumerate(
+            Path(path).read_text().splitlines(), start=1
+        ):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            data_rows += 1
+            fields = line.split(",")
+            if column >= len(fields):
+                raise ValueError(
+                    f"{path}:{lineno}: no column {column} in {line!r}"
+                )
+            try:
+                rates.append(float(fields[column]))
+            except ValueError:
+                if data_rows == 1:  # header row
+                    continue
+                raise ValueError(
+                    f"{path}:{lineno}: non-numeric rate {fields[column]!r}"
+                ) from None
+        if not rates:
+            raise ValueError(f"{path}: no rates found in column {column}")
+        return cls(np.asarray(rates), loop=loop)
+
+    @classmethod
+    def from_npz(
+        cls, path: str | Path, key: str = "rates", loop: bool = True
+    ) -> "TraceReplayRate":
+        """Load a trace from an NPZ archive entry ``key``."""
+        with np.load(path) as payload:
+            if key not in payload:
+                raise ValueError(
+                    f"{path}: no array {key!r}; "
+                    f"available: {sorted(payload.files)}"
+                )
+            rates = np.asarray(payload[key], dtype=np.float64)
+        return cls(rates, loop=loop)

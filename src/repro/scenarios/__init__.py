@@ -2,13 +2,16 @@
 
 Importing this package registers the built-in catalogue — the dense
 workloads ``paper-baseline``, ``heterogeneous-sed``, ``bursty-mmpp``
-and ``overload``, plus the sparse-topology workloads ``ring-local``,
-``torus-local``, ``random-regular`` and ``sparse-heterogeneous`` (see
-:mod:`repro.scenarios.builtin`). :func:`run_scenario` executes any
-registered name through the sharded
+and ``overload``, the sparse-topology workloads ``ring-local``,
+``torus-local``, ``random-regular`` and ``sparse-heterogeneous``, and
+the streaming workloads ``diurnal-stream``, ``flash-crowd`` and
+``stochastic-delay`` (see :mod:`repro.scenarios.builtin`).
+:func:`run_scenario` executes any registered name through the sharded
 :class:`repro.experiments.parallel.SweepExecutor`, optionally backed by
-the content-addressed shard store (``store=``). See ``docs/scaling.md``
-for the catalogue table and worker guidance.
+the content-addressed shard store (``store=``); the ``stream`` CLI
+subcommand (:mod:`repro.serving`) streams any of them over long
+horizons instead. See ``docs/workloads.md`` for the catalogue and
+``docs/scaling.md`` for worker guidance.
 """
 
 from repro.scenarios import builtin as _builtin  # noqa: F401  (registers the catalogue)

@@ -1,6 +1,6 @@
 """The built-in scenario catalogue.
 
-Eight workloads, registered on import:
+Eleven workloads, registered on import:
 
 * ``paper-baseline`` — the paper's own Figure-5 setting: homogeneous
   servers, two-level Markov-modulated arrivals, MF vs JSQ(2) vs RND.
@@ -19,6 +19,16 @@ Eight workloads, registered on import:
 * ``sparse-heterogeneous`` — locality *and* two server speed classes on
   a random regular graph (the heterogeneous-capacity variant of
   arXiv:2012.10142 on the sparse access structure).
+* ``diurnal-stream`` / ``flash-crowd`` — non-stationary arrival
+  profiles from :mod:`repro.queueing.workloads` (sinusoidal day/night
+  cycle; baseline traffic with a transiently overloading spike), built
+  for long streaming horizons (``cli stream``) but sweepable like any
+  other scenario.
+* ``stochastic-delay`` — per-dispatcher random observation delays: the
+  monitoring plane switches between *synced* and *degraded* regimes
+  (:class:`repro.queueing.delays.MarkovModulatedDelay`), generalizing
+  the paper's fixed ``Δt``; simulated by
+  :class:`repro.queueing.delayed_env.BatchedDelayedFiniteEnv`.
 
 Default grids are bench scale (a laptop regenerates any scenario in
 minutes); pass ``--queues`` / ``--runs`` / ``--delta-ts`` for
@@ -33,6 +43,8 @@ import numpy as np
 
 from repro.config import SystemConfig, paper_system_config
 from repro.queueing.arrivals import MarkovModulatedRate
+from repro.queueing.delayed_env import BatchedDelayedFiniteEnv
+from repro.queueing.delays import MarkovModulatedDelay
 from repro.queueing.graph_env import BatchedGraphFiniteEnv
 from repro.queueing.heterogeneous import (
     BatchedHeterogeneousFiniteEnv,
@@ -40,6 +52,7 @@ from repro.queueing.heterogeneous import (
     sed_policy_suite,
 )
 from repro.queueing.topology import TopologySpec, near_square_factors
+from repro.queueing.workloads import DiurnalRate, FlashCrowdRate
 from repro.scenarios.registry import ScenarioSpec, register_scenario
 
 if TYPE_CHECKING:
@@ -51,7 +64,11 @@ __all__ = [
     "TORUS_RADIUS",
     "RANDOM_REGULAR_DEGREE",
     "TOPOLOGY_SEED",
+    "DIURNAL_PERIOD",
     "bursty_arrival_process",
+    "diurnal_arrival_process",
+    "flash_crowd_arrival_process",
+    "stochastic_delay_model",
 ]
 
 _DEFAULT_DELTA_TS = (1.0, 3.0, 5.0, 7.0, 10.0)
@@ -297,6 +314,132 @@ register_scenario(
         env_cls=BatchedGraphFiniteEnv,
         build_env_kwargs=_random_regular_env_kwargs,
         tags=("topology", "related-work"),
+    )
+)
+
+#: Streaming-workload knobs, fixed so the scenario names always denote
+#: the same traffic shapes. Flash-crowd timing is in model *time*
+#: units, not epochs: finite-sweep evaluation episodes cover ~500 time
+#: units regardless of Δt (``resolved_eval_length``), so anchoring the
+#: spike in time keeps it inside every sweep cell's horizon.
+DIURNAL_PERIOD = 200  # epochs per simulated "day"
+FLASH_SPIKE_TIME = 100.0  # ramp start, in time units
+FLASH_RAMP_TIME = 10.0  # ramp duration, in time units
+FLASH_PEAK_RATE = 1.5
+FLASH_DECAY_PER_TIME = 0.9  # excess-over-baseline decay per time unit
+
+
+def diurnal_arrival_process() -> DiurnalRate:
+    """Sinusoidal day/night cycle: ρ swings 0.55–0.95 around 0.75."""
+    return DiurnalRate(mean=0.75, amplitude=0.2, period=DIURNAL_PERIOD)
+
+
+def flash_crowd_arrival_process(delta_t: float = 1.0) -> FlashCrowdRate:
+    """Quiet baseline (ρ = 0.6) with one transiently overloading spike.
+
+    The ramp starts at time ``FLASH_SPIKE_TIME``, reaches ρ = 1.5 over
+    ``FLASH_RAMP_TIME`` time units and decays geometrically back to
+    baseline — the drain dynamics after the crowd leaves are the
+    interesting part. ``delta_t`` converts the time-anchored profile to
+    epochs, so the same crowd hits at the same model time for every
+    synchronization delay in a sweep.
+    """
+    if delta_t <= 0:
+        raise ValueError(f"delta_t must be > 0, got {delta_t}")
+    return FlashCrowdRate(
+        base_rate=0.6,
+        peak_rate=FLASH_PEAK_RATE,
+        spike_epoch=max(1, round(FLASH_SPIKE_TIME / delta_t)),
+        ramp_epochs=max(1, round(FLASH_RAMP_TIME / delta_t)),
+        decay=FLASH_DECAY_PER_TIME**delta_t,
+    )
+
+
+def stochastic_delay_model() -> MarkovModulatedDelay:
+    """Synced/degraded monitoring plane: age 0 normally, ages 0-3 while
+    degraded (~1/6 of the time in the stationary regime)."""
+    return MarkovModulatedDelay.synced_degraded(
+        degraded_pmf=(0.2, 0.3, 0.3, 0.2), p_degrade=0.05, p_recover=0.25
+    )
+
+
+def _diurnal_env_kwargs(config: SystemConfig) -> dict[str, object]:
+    return {
+        "arrival_process": diurnal_arrival_process(),
+        "per_packet_randomization": True,
+    }
+
+
+def _flash_crowd_env_kwargs(config: SystemConfig) -> dict[str, object]:
+    return {
+        "arrival_process": flash_crowd_arrival_process(config.delta_t),
+        "per_packet_randomization": True,
+    }
+
+
+def _stochastic_delay_env_kwargs(config: SystemConfig) -> dict[str, object]:
+    return {"delay_model": stochastic_delay_model()}
+
+
+register_scenario(
+    ScenarioSpec(
+        name="diurnal-stream",
+        description=(
+            f"Sinusoidal diurnal arrivals (period {DIURNAL_PERIOD} epochs, "
+            "rho 0.55-0.95)"
+        ),
+        # Rate fields record the sinusoid's envelope for ρ bookkeeping;
+        # the chain is replaced by diurnal_arrival_process() at env
+        # construction (as in bursty-mmpp).
+        base_config=paper_system_config(num_queues=100).with_updates(
+            arrival_rate_high=0.95,
+            arrival_rate_low=0.55,
+            p_high_to_low=0.5,
+            p_low_to_high=0.5,
+        ),
+        delta_ts=_DEFAULT_DELTA_TS,
+        num_runs=5,
+        build_policies=_static_policies,
+        build_env_kwargs=_diurnal_env_kwargs,
+        tags=("streaming", "arrivals"),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="flash-crowd",
+        description=(
+            f"Flash crowd: rho 0.6 baseline, spike to {FLASH_PEAK_RATE:g} "
+            f"at t={FLASH_SPIKE_TIME:g}"
+        ),
+        # Long-run load is the baseline; the spike profile is replayed
+        # by flash_crowd_arrival_process() at env construction.
+        base_config=paper_system_config(num_queues=100).with_updates(
+            arrival_rate_high=0.6,
+            arrival_rate_low=0.6,
+        ),
+        delta_ts=_DEFAULT_DELTA_TS,
+        num_runs=5,
+        build_policies=_static_policies,
+        build_env_kwargs=_flash_crowd_env_kwargs,
+        tags=("streaming", "arrivals", "stress"),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="stochastic-delay",
+        description=(
+            "Markov-modulated observation delays: synced vs degraded "
+            "monitoring (ages 0-3)"
+        ),
+        base_config=paper_system_config(num_queues=100),
+        delta_ts=_DEFAULT_DELTA_TS,
+        num_runs=5,
+        build_policies=_static_policies,
+        env_cls=BatchedDelayedFiniteEnv,
+        build_env_kwargs=_stochastic_delay_env_kwargs,
+        tags=("streaming", "delays", "related-work"),
     )
 )
 

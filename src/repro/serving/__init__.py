@@ -1,0 +1,48 @@
+"""Streaming serving subsystem: long-horizon runs with O(1)-memory metrics.
+
+The figure sweeps materialize per-epoch drop trajectories — fine for
+the paper's 50-500-epoch evaluation episodes, linear-memory death for
+the production-style horizons the ROADMAP targets. This package runs
+the existing batched environments (dense, graph, heterogeneous,
+delayed) over arbitrarily long, non-stationary horizons in fixed-size
+time windows, folding per-packet outcomes into online accumulators
+instead of trajectories:
+
+* :mod:`repro.serving.metrics` — P²-quantile sketches, exact streaming
+  quantiles for the discrete queue-length distribution, windowed
+  drop-rate/throughput series with bounded coarsening.
+* :mod:`repro.serving.engine` — the chunked streaming driver, replica
+  sharding through the same seed discipline as
+  :class:`repro.experiments.parallel.SweepExecutor`, experiment-store
+  caching of streaming shards, and the scenario entry point behind the
+  ``stream`` CLI subcommand.
+
+See ``docs/serving.md`` for the operator's guide (metric definitions,
+delay models, memory model).
+"""
+
+from repro.serving.metrics import (
+    P2Quantile,
+    StreamingMetrics,
+    WindowedSeries,
+    window_layout,
+)
+from repro.serving.engine import (
+    StreamRequest,
+    StreamResult,
+    run_stream,
+    run_stream_request,
+    run_stream_scenario,
+)
+
+__all__ = [
+    "P2Quantile",
+    "StreamingMetrics",
+    "WindowedSeries",
+    "window_layout",
+    "StreamRequest",
+    "StreamResult",
+    "run_stream",
+    "run_stream_request",
+    "run_stream_scenario",
+]

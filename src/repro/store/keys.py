@@ -25,7 +25,12 @@ Canonicalization rules (:func:`fingerprint`):
   that determine the generated stream — and ignores mutable spawn
   counters,
 * dataclasses and plain objects hash their qualified name plus field
-  dict, recursively (cycles are detected and hashed by back-reference),
+  dict, recursively (cycles are detected and hashed by back-reference);
+  a class may declare ``__fingerprint_exclude__`` (a tuple of attribute
+  names) to keep *replay-irrelevant mutable state* — e.g. an arrival
+  profile's playback cursor, which every environment resets before
+  use — out of its hash, so a shared object mutated by one run still
+  resolves the same shards on the next,
 * classes and functions hash their qualified name only. Closures are
   **not** captured — keep stream-relevant state in attributes, not in
   lambdas (true for every policy/environment in this repository).
@@ -43,8 +48,9 @@ import repro
 
 if TYPE_CHECKING:
     from repro.experiments.parallel import EvalRequest, _Shard
+    from repro.serving.engine import StreamRequest
 
-__all__ = ["CODE_SALT", "fingerprint", "shard_key"]
+__all__ = ["CODE_SALT", "fingerprint", "shard_key", "stream_shard_key"]
 
 #: Store-format generation; bump to invalidate all entries on layout
 #: changes that keep the package version (rare — prefer version bumps).
@@ -56,22 +62,30 @@ STORE_SCHEMA_VERSION = 1
 CODE_SALT = f"repro/{repro.__version__}/store-v{STORE_SCHEMA_VERSION}"
 
 
-def _seen(h: "hashlib._Hash", obj: Any, memo: dict[int, int]) -> bool:
+def _seen(h: "hashlib._Hash", obj: Any, memo: "dict[int, tuple[int, Any]]") -> bool:
     """Cycle guard for mutable containers and objects.
 
     On first visit the object is registered (content gets hashed by the
     caller); on revisit a back-reference index is hashed instead, so
     self-referential structures terminate with equal-structure inputs
     hashing equally.
+
+    The memo entry keeps a strong reference to the object: ``id`` is
+    only unique among *live* objects, and the traversal creates
+    temporaries (``vars()`` field dicts, filtered copies) whose ids
+    could otherwise be reused by later temporaries — which would then
+    hash as spurious back-references, silently skipping their content
+    and making the digest depend on allocator state.
     """
-    if id(obj) in memo:
-        h.update(b"\x00c" + str(memo[id(obj)]).encode())
+    entry = memo.get(id(obj))
+    if entry is not None:
+        h.update(b"\x00c" + str(entry[0]).encode())
         return True
-    memo[id(obj)] = len(memo)
+    memo[id(obj)] = (len(memo), obj)
     return False
 
 
-def _feed(h: "hashlib._Hash", obj: Any, memo: dict[int, int]) -> None:
+def _feed(h: "hashlib._Hash", obj: Any, memo: "dict[int, tuple[int, Any]]") -> None:
     """Feed one canonicalized object into the running hash."""
     if obj is None:
         h.update(b"\x00N")
@@ -141,6 +155,13 @@ def _feed(h: "hashlib._Hash", obj: Any, memo: dict[int, int]) -> None:
                 f"cannot fingerprint {cls.__module__}.{cls.__qualname__}: "
                 "no dataclass fields, __dict__ or __slots__"
             )
+        excluded = getattr(cls, "__fingerprint_exclude__", ())
+        if excluded:
+            fields = {
+                name: value
+                for name, value in fields.items()
+                if name not in excluded
+            }
         _feed(h, fields, memo)
 
 
@@ -174,5 +195,35 @@ def shard_key(request: "EvalRequest", shard: "_Shard") -> str:
         "env_kwargs": request.env_kwargs,
         "shard_runs": shard.num_runs,
         "shard_seeds": shard.seeds,
+    }
+    return fingerprint(payload)
+
+
+def stream_shard_key(
+    request: "StreamRequest", num_runs: int, seed_material
+) -> str:
+    """Content hash identifying one *streaming* shard's result.
+
+    Streaming shards fingerprint exactly like finite-sweep shards —
+    same canonicalization, same code salt, same exclusion of the merge
+    offset and total replica count (a chunk's streams depend only on
+    its own seed material and size). The windowing parameters *are*
+    part of the key because the cached payload carries the retained
+    window series at that resolution; the per-replica summaries it also
+    carries are window-invariant regardless.
+    """
+    payload = {
+        "salt": CODE_SALT,
+        "kind": "stream",
+        "config": request.config.to_dict(),
+        "policy": request.policy,
+        "policy_name": request.policy.name,
+        "horizon": int(request.horizon),
+        "window": int(request.window),
+        "max_windows": int(request.max_windows),
+        "env_cls": request.env_cls,
+        "env_kwargs": request.env_kwargs,
+        "shard_runs": int(num_runs),
+        "shard_seeds": (seed_material,),
     }
     return fingerprint(payload)

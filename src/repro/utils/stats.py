@@ -23,7 +23,19 @@ __all__ = [
 
 
 class WelfordAccumulator:
-    """Numerically stable streaming mean/variance of scalar samples."""
+    """Numerically stable streaming mean/variance of scalar samples.
+
+    Welford's online algorithm: one pass, O(1) memory, no catastrophic
+    cancellation — the aggregation primitive behind the Monte-Carlo
+    harness and the streaming engine's scalar accumulators.
+
+    Examples
+    --------
+    >>> acc = WelfordAccumulator()
+    >>> acc.extend([1.0, 2.0, 3.0])
+    >>> acc.mean
+    2.0
+    """
 
     def __init__(self) -> None:
         self._count = 0
@@ -31,6 +43,13 @@ class WelfordAccumulator:
         self._m2 = 0.0
 
     def add(self, value: float) -> None:
+        """Fold one sample into the running moments.
+
+        Parameters
+        ----------
+        value : float
+            The sample; must be finite (``ValueError`` otherwise).
+        """
         if not math.isfinite(value):
             raise ValueError(f"non-finite sample: {value!r}")
         self._count += 1
@@ -39,15 +58,24 @@ class WelfordAccumulator:
         self._m2 += delta * (value - self._mean)
 
     def extend(self, values) -> None:
+        """Fold a batch of samples, in iteration order.
+
+        Parameters
+        ----------
+        values : array_like
+            Samples; flattened before folding.
+        """
         for v in np.asarray(values, dtype=float).ravel():
             self.add(float(v))
 
     @property
     def count(self) -> int:
+        """Number of samples folded so far."""
         return self._count
 
     @property
     def mean(self) -> float:
+        """Running sample mean (``ValueError`` with no samples)."""
         if self._count == 0:
             raise ValueError("no samples accumulated")
         return self._mean
@@ -61,15 +89,36 @@ class WelfordAccumulator:
 
     @property
     def std(self) -> float:
+        """Sample standard deviation ``sqrt(variance)``."""
         return math.sqrt(self.variance)
 
     def standard_error(self) -> float:
+        """Standard error of the mean, ``std / sqrt(count)``.
+
+        Returns
+        -------
+        float
+            The half-width scale the t-based confidence intervals
+            multiply.
+        """
         return self.std / math.sqrt(self._count)
 
 
 @dataclass(frozen=True)
 class ConfidenceInterval:
-    """A symmetric ``level`` confidence interval around ``mean``."""
+    """A symmetric ``level`` confidence interval around ``mean``.
+
+    Attributes
+    ----------
+    mean : float
+        Point estimate (the sample mean).
+    lower, upper : float
+        Interval endpoints.
+    level : float
+        Nominal coverage in ``(0, 1)`` (the paper reports 0.95).
+    n : int
+        Sample count behind the estimate.
+    """
 
     mean: float
     lower: float
@@ -79,9 +128,11 @@ class ConfidenceInterval:
 
     @property
     def half_width(self) -> float:
+        """Half the interval width (the ``±`` in the rendered tables)."""
         return (self.upper - self.lower) / 2.0
 
     def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the closed interval."""
         return self.lower <= value <= self.upper
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
@@ -91,8 +142,19 @@ class ConfidenceInterval:
 def mean_confidence_interval(samples, level: float = 0.95) -> ConfidenceInterval:
     """Student-t confidence interval for the mean of ``samples``.
 
-    With a single sample the interval degenerates to a point; with zero
-    samples a ``ValueError`` is raised.
+    Parameters
+    ----------
+    samples : array_like
+        Monte-Carlo observations; flattened. Must be non-empty
+        (``ValueError`` otherwise).
+    level : float, optional
+        Nominal coverage in ``(0, 1)``; the paper's figures use 0.95.
+
+    Returns
+    -------
+    ConfidenceInterval
+        ``mean ± t_{level, n-1} · SEM``. With a single sample (or zero
+        spread) the interval degenerates to a point.
     """
     arr = np.asarray(samples, dtype=float).ravel()
     if arr.size == 0:
@@ -115,6 +177,14 @@ class RunningMeanStd:
 
     Matches the classic parallel-update formula (Chan et al.) used by
     most RL frameworks; updates accept batches of shape ``(n, dim)``.
+
+    Parameters
+    ----------
+    dim : int
+        Observation dimensionality.
+    epsilon : float, optional
+        Initial pseudo-count (also the variance floor inside
+        :meth:`normalize`), keeping early normalizations finite.
     """
 
     def __init__(self, dim: int, epsilon: float = 1e-8) -> None:
@@ -127,6 +197,13 @@ class RunningMeanStd:
         self.count = epsilon
 
     def update(self, batch: np.ndarray) -> None:
+        """Fold a batch of observations into the running moments.
+
+        Parameters
+        ----------
+        batch : ndarray
+            Shape ``(n, dim)`` (a single ``(dim,)`` row is promoted).
+        """
         batch = np.asarray(batch, dtype=np.float64)
         if batch.ndim == 1:
             batch = batch[None, :]
@@ -149,11 +226,26 @@ class RunningMeanStd:
         self.count = total
 
     def normalize(self, x: np.ndarray, clip: float = 10.0) -> np.ndarray:
+        """Standardize ``x`` by the running moments and clip to ``±clip``.
+
+        Parameters
+        ----------
+        x : ndarray
+            Observation(s) of trailing dimension ``dim``.
+        clip : float, optional
+            Symmetric clipping bound applied after standardization.
+
+        Returns
+        -------
+        ndarray
+            ``clip((x - mean) / sqrt(var + epsilon), ±clip)``.
+        """
         x = np.asarray(x, dtype=np.float64)
         normed = (x - self.mean) / np.sqrt(self.var + self.epsilon)
         return np.clip(normed, -clip, clip)
 
     def state_dict(self) -> dict:
+        """Checkpointable copy of the running moments."""
         return {
             "mean": self.mean.copy(),
             "var": self.var.copy(),
@@ -161,6 +253,7 @@ class RunningMeanStd:
         }
 
     def load_state_dict(self, state: dict) -> None:
+        """Restore moments saved by :meth:`state_dict` (shape-checked)."""
         mean = np.asarray(state["mean"], dtype=np.float64)
         var = np.asarray(state["var"], dtype=np.float64)
         if mean.shape != (self.dim,) or var.shape != (self.dim,):

@@ -315,3 +315,95 @@ class TestReproduceCommand:
         ) == 2
         err = capsys.readouterr().err
         assert "unregistered scenario" in err and "nope" in err
+
+
+class TestStreamCommand:
+    def test_parsing_defaults(self):
+        args = build_parser().parse_args(["stream", "diurnal-stream"])
+        assert args.command == "stream"
+        assert args.name == "diurnal-stream"
+        assert args.horizon == 2000
+        assert args.window is None
+        assert args.replicas == 4
+        assert args.workers == 1
+
+    def test_tiny_stream_run(self, capsys):
+        code = main(
+            [
+                "stream", "diurnal-stream",
+                "--horizon", "10",
+                "--window", "5",
+                "--replicas", "2",
+                "--queues", "8",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "diurnal-stream" in out
+        assert "drop_rate" in out
+        assert "Windowed series" in out
+
+    def test_stream_csv_output(self, capsys, tmp_path):
+        csv_path = tmp_path / "stream.csv"
+        code = main(
+            [
+                "stream", "stochastic-delay",
+                "--horizon", "8",
+                "--window", "4",
+                "--replicas", "1",
+                "--queues", "8",
+                "--csv", str(csv_path),
+            ]
+        )
+        assert code == 0
+        assert csv_path.read_text().startswith("epoch_start,width")
+        assert "csv written" in capsys.readouterr().out
+
+    def test_stream_store_round_trip(self, capsys, tmp_path):
+        argv = [
+            "stream", "flash-crowd",
+            "--horizon", "8",
+            "--window", "4",
+            "--replicas", "2",
+            "--queues", "8",
+            "--store-dir", str(tmp_path / "store"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second  # warm rerun merges from the cache
+
+    def test_stream_unknown_scenario_exits_2(self, capsys):
+        code = main(["stream", "does-not-exist", "--horizon", "5"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown scenario" in err
+
+    def test_stream_unknown_policy_exits_2(self, capsys):
+        code = main(
+            [
+                "stream", "diurnal-stream",
+                "--horizon", "5",
+                "--queues", "8",
+                "--policy", "NOPE",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "no policy" in err
+
+    @pytest.mark.parametrize("flag", ["--horizon", "--window", "--replicas"])
+    def test_stream_rejects_non_positive(self, flag, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream", "diurnal-stream", flag, "0"])
+
+    def test_stream_rejects_bad_delta_t(self, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "stream", "diurnal-stream",
+                    "--horizon", "5",
+                    "--delta-t", "-1",
+                ]
+            )

@@ -159,3 +159,25 @@ class TestPPOConfigValidation:
     def test_with_updates(self):
         ppo = PPOConfig()
         assert ppo.with_updates(learning_rate=1e-3).learning_rate == 1e-3
+
+
+class TestVersionSync:
+    """`repro.__version__` salts the experiment store (CODE_SALT), so it
+    must track the packaging version — a silent mismatch would either
+    replay stale shards or needlessly invalidate the cache."""
+
+    def test_package_version_matches_pyproject(self):
+        from pathlib import Path
+
+        import repro
+        from repro.store.manifest import tomllib  # 3.10-safe import
+
+        pyproject = Path(__file__).resolve().parent.parent / "pyproject.toml"
+        payload = tomllib.loads(pyproject.read_text())
+        assert payload["project"]["version"] == repro.__version__
+
+    def test_version_salts_store_keys(self):
+        import repro
+        from repro.store.keys import CODE_SALT
+
+        assert repro.__version__ in CODE_SALT

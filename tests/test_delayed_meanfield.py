@@ -1,0 +1,192 @@
+"""Delay-mixture mean-field propagator (repro.meanfield.delayed)."""
+
+import numpy as np
+import pytest
+
+from repro.config import paper_system_config
+from repro.meanfield.convergence import mean_field_trajectory
+from repro.meanfield.delayed import (
+    DelayedMeanFieldPropagator,
+    delayed_arrival_rates,
+    delayed_local_epoch_update,
+    delayed_mean_field_trajectory,
+)
+from repro.meanfield.discretization import per_state_arrival_rates
+from repro.meanfield.local import local_epoch_update
+from repro.meanfield.decision_rule import DecisionRule
+from repro.policies.static import JoinShortestQueuePolicy, RandomPolicy
+from repro.queueing.delays import (
+    DeterministicDelay,
+    IIDDelay,
+    MarkovModulatedDelay,
+)
+from repro.queueing.topology import TopologySpec
+
+MODES = np.asarray([0, 1, 0, 0, 1, 1, 0, 1, 0, 0] * 4)
+
+
+@pytest.fixture()
+def config():
+    return paper_system_config(num_queues=100).with_updates(delta_t=5.0)
+
+
+@pytest.fixture()
+def jsq(config):
+    return JoinShortestQueuePolicy(config.num_queue_states, config.d)
+
+
+class TestPointMassReduction:
+    def test_zero_delay_reproduces_fixed_delta_t(self, config, jsq):
+        """Acceptance criterion: a point mass at age 0 reproduces the
+        paper's fixed-Δt mean-field trajectory to <= 1e-10."""
+        nus0, drops0 = mean_field_trajectory(config, jsq, MODES)
+        nus1, drops1 = delayed_mean_field_trajectory(
+            config, jsq, MODES, DeterministicDelay(0)
+        )
+        assert np.abs(nus1 - nus0).max() <= 1e-10
+        assert np.abs(drops1 - drops0).max() <= 1e-10
+
+    @pytest.mark.parametrize("delta_t", [1.0, 3.0, 10.0])
+    def test_reduction_across_delays(self, delta_t, jsq):
+        cfg = paper_system_config(num_queues=100).with_updates(
+            delta_t=delta_t
+        )
+        policy = JoinShortestQueuePolicy(cfg.num_queue_states, cfg.d)
+        nus0, drops0 = mean_field_trajectory(cfg, policy, MODES[:20])
+        nus1, drops1 = delayed_mean_field_trajectory(
+            cfg, policy, MODES[:20], DeterministicDelay(0)
+        )
+        assert np.abs(nus1 - nus0).max() <= 1e-10
+        assert np.abs(drops1 - drops0).max() <= 1e-10
+
+    def test_rates_reduce_exactly_at_age_zero(self, config, jsq):
+        rule = jsq.decision_rule(
+            np.asarray([0.2, 0.3, 0.2, 0.1, 0.1, 0.1]), 0, None
+        )
+        nu = np.asarray([0.2, 0.3, 0.2, 0.1, 0.1, 0.1])
+        direct = per_state_arrival_rates(nu, rule, 0.9)
+        mixed = delayed_arrival_rates(
+            [nu], [np.eye(nu.size)], rule, 0.9, np.asarray([1.0])
+        )
+        assert np.allclose(mixed, direct, rtol=1e-14, atol=0)
+
+
+class TestDelayMixture:
+    def test_arrival_mass_conservation(self, config, jsq):
+        """Σ_z ν_t(z) r(z) = λ for any delay distribution and history."""
+        s = config.num_queue_states
+        propagator = DelayedMeanFieldPropagator(
+            np.eye(s)[0], max_delay=3, service=1.0, delta_t=config.delta_t
+        )
+        rule = jsq.decision_rule(np.eye(s)[0], 0, None)
+        pmf = np.asarray([0.4, 0.3, 0.2, 0.1])
+        for _ in range(6):
+            nus, phis = propagator._history()
+            rates = delayed_arrival_rates(nus, phis, rule, 0.9, pmf)
+            assert float(nus[0] @ rates) == pytest.approx(0.9, rel=1e-9)
+            propagator.step(rule, 0.9, pmf)
+
+    def test_state_independent_rule_unaffected_by_delay(self, config):
+        """RND routes uniformly regardless of observations, so any delay
+        distribution yields the same trajectory (the closure is exact)."""
+        rnd = RandomPolicy(config.num_queue_states, config.d)
+        nus0, drops0 = delayed_mean_field_trajectory(
+            config, rnd, MODES[:20], DeterministicDelay(0)
+        )
+        nus1, drops1 = delayed_mean_field_trajectory(
+            config, rnd, MODES[:20], IIDDelay([0.2, 0.3, 0.5])
+        )
+        assert np.allclose(nus1, nus0, atol=1e-10)
+        assert np.allclose(drops1, drops0, atol=1e-10)
+
+    def test_staleness_hurts_jsq(self, config, jsq):
+        """Extra observation delay on top of Δt=5 worsens delayed-JSQ's
+        drops in the mean-field model (the paper's Figure-5 mechanism)."""
+        overloaded = config.with_updates(
+            arrival_rate_high=1.0, arrival_rate_low=0.8
+        )
+        _, fresh = delayed_mean_field_trajectory(
+            overloaded, jsq, MODES, DeterministicDelay(0)
+        )
+        _, stale = delayed_mean_field_trajectory(
+            overloaded, jsq, MODES, DeterministicDelay(3)
+        )
+        assert stale.sum() > fresh.sum()
+
+    def test_regime_sequence_switches_pmfs(self, config, jsq):
+        model = MarkovModulatedDelay.synced_degraded()
+        regimes = np.zeros(20, dtype=np.intp)
+        nus_synced, _ = delayed_mean_field_trajectory(
+            config, jsq, MODES[:20], model, regime_sequence=regimes
+        )
+        nus_base, _ = delayed_mean_field_trajectory(
+            config, jsq, MODES[:20], DeterministicDelay(0)
+        )
+        assert np.allclose(nus_synced, nus_base, atol=1e-10)
+        degraded = np.ones(20, dtype=np.intp)
+        nus_deg, _ = delayed_mean_field_trajectory(
+            config, jsq, MODES[:20], model, regime_sequence=degraded
+        )
+        assert not np.allclose(nus_deg, nus_base, atol=1e-6)
+
+    def test_history_validation(self, config, jsq):
+        s = config.num_queue_states
+        nu = np.full(s, 1.0 / s)
+        rule = jsq.decision_rule(nu, 0, None)
+        with pytest.raises(ValueError):
+            delayed_arrival_rates(
+                [nu], [np.eye(s)], rule, 0.9, np.asarray([0.5, 0.5])
+            )
+        with pytest.raises(ValueError):
+            DelayedMeanFieldPropagator(nu, max_delay=-1, service=1.0, delta_t=1.0)
+
+
+class TestDelayedLocal:
+    def test_reduces_to_local_epoch_update(self):
+        """Point mass at age 0 on a sparse topology reproduces the local
+        propagator exactly."""
+        topology = TopologySpec.ring(12, radius=2)
+        s = 4
+        rng = np.random.default_rng(1)
+        nus = rng.dirichlet(np.ones(s), size=12)
+        rule = DecisionRule.join_shortest(s, 2)
+        expected_nus, expected_drops = local_epoch_update(
+            nus, topology, rule, 0.8, 1.0, 2.0
+        )
+        got_nus, got_drops, transitions = delayed_local_epoch_update(
+            [nus],
+            [np.broadcast_to(np.eye(s), (12, s, s))],
+            topology,
+            rule,
+            0.8,
+            1.0,
+            2.0,
+            np.asarray([1.0]),
+        )
+        assert np.abs(got_nus - expected_nus).max() <= 1e-10
+        assert np.abs(got_drops - expected_drops).max() <= 1e-10
+        assert transitions.shape == (12, s, s)
+        assert np.allclose(transitions.sum(axis=2), 1.0)
+
+    def test_mixture_conserves_mass_per_epoch(self):
+        topology = TopologySpec.ring(10, radius=1)
+        s = 4
+        rule = DecisionRule.join_shortest(s, 2)
+        lam = 0.7
+        nus = np.zeros((10, s))
+        nus[:, 0] = 1.0
+        history = [nus, nus, nus]
+        phis = [np.broadcast_to(np.eye(s), (10, s, s))] * 3
+        pmf = np.asarray([0.5, 0.3, 0.2])
+        for _ in range(4):
+            nus_next, drops, transitions = delayed_local_epoch_update(
+                history, phis, topology, rule, lam, 1.0, 2.0, pmf
+            )
+            assert np.all(drops >= -1e-12)
+            assert np.allclose(nus_next.sum(axis=1), 1.0)
+            history = [nus_next] + history[:2]
+            phis = [
+                np.broadcast_to(np.eye(s), (10, s, s)),
+                np.einsum("mzs,msk->mzk", phis[0], transitions),
+                np.einsum("mzs,msk->mzk", phis[1], transitions),
+            ]

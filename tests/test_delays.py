@@ -1,0 +1,207 @@
+"""Observation-delay models and the delayed finite environment."""
+
+import numpy as np
+import pytest
+
+from repro.config import paper_system_config
+from repro.policies.static import JoinShortestQueuePolicy
+from repro.queueing.batched_env import BatchedFiniteSystemEnv
+from repro.queueing.delayed_env import BatchedDelayedFiniteEnv
+from repro.queueing.delays import (
+    DeterministicDelay,
+    IIDDelay,
+    MarkovModulatedDelay,
+)
+
+
+class TestDelayModels:
+    def test_deterministic_point_mass(self):
+        model = DeterministicDelay(2)
+        assert model.max_delay == 2
+        assert np.array_equal(model.pmf(), [0.0, 0.0, 1.0])
+        assert not model.is_point_mass_at_zero
+        assert DeterministicDelay(0).is_point_mass_at_zero
+        assert model.mean_delay() == 2.0
+
+    def test_iid_pmf_validation(self):
+        model = IIDDelay([0.5, 0.3, 0.2])
+        assert model.max_delay == 2
+        assert model.mean_delay() == pytest.approx(0.7)
+        with pytest.raises(ValueError):
+            IIDDelay([0.5, 0.6])
+        with pytest.raises(ValueError):
+            IIDDelay([-0.1, 1.1])
+        with pytest.raises(ValueError):
+            DeterministicDelay(-1)
+
+    def test_markov_modulated_regimes(self):
+        model = MarkovModulatedDelay.synced_degraded(
+            degraded_pmf=(0.25, 0.5, 0.25), p_degrade=0.1, p_recover=0.5
+        )
+        assert model.num_regimes == 2
+        assert np.array_equal(model.pmf(0), [1.0, 0.0, 0.0])
+        assert model.mean_delay(1) == pytest.approx(1.0)
+        # Stationary regime mix: degraded 0.1 / (0.1 + 0.5) of the time.
+        stationary = model.stationary_pmf()
+        assert stationary[0] == pytest.approx(1.0 - (0.1 / 0.6) * 0.75)
+        regimes = model.sample_initial_regimes_batch(4, rng=0)
+        assert np.all(regimes == 0)  # starts synced
+        stepped = model.step_regimes_batch(regimes, rng=0)
+        assert stepped.shape == (4,)
+        with pytest.raises(ValueError):
+            model.step_regimes_batch(np.asarray([5]))
+
+    def test_fractions_point_mass_skips_rng(self):
+        model = DeterministicDelay(1)
+        fractions = model.sample_fractions_batch(
+            np.zeros(3, dtype=np.intp), 100, rng=None
+        )
+        assert np.array_equal(fractions, np.tile([0.0, 1.0], (3, 1)))
+
+    def test_fractions_multinomial(self):
+        model = IIDDelay([0.5, 0.5])
+        fractions = model.sample_fractions_batch(
+            np.zeros(2, dtype=np.intp), 1000, rng=0
+        )
+        assert fractions.shape == (2, 2)
+        assert np.allclose(fractions.sum(axis=1), 1.0)
+        assert np.all(np.abs(fractions[:, 0] - 0.5) < 0.1)
+
+    def test_pickles(self):
+        import pickle
+
+        model = MarkovModulatedDelay.synced_degraded()
+        clone = pickle.loads(pickle.dumps(model))
+        assert np.array_equal(clone.pmfs, model.pmfs)
+
+
+class TestDelayedEnv:
+    @pytest.fixture()
+    def config(self):
+        return paper_system_config(num_queues=12, num_clients=60).with_updates(
+            delta_t=3.0
+        )
+
+    @pytest.fixture()
+    def policy(self, config):
+        return JoinShortestQueuePolicy(config.num_queue_states, config.d)
+
+    def test_point_mass_bit_identical_to_dense(self, config, policy):
+        """Delay age 0 is the paper's model — same random stream, same
+        trajectory as the undelayed batched environment."""
+        dense = BatchedFiniteSystemEnv(
+            config, num_replicas=3, per_packet_randomization=True, seed=11
+        )
+        delayed = BatchedDelayedFiniteEnv(
+            config, num_replicas=3, delay_model=DeterministicDelay(0), seed=11
+        )
+        dense.reset(5)
+        delayed.reset(5)
+        for _ in range(15):
+            _, _, info_a = dense.step_with_policy(policy)
+            _, _, info_b = delayed.step_with_policy(policy)
+            assert np.array_equal(dense.queue_states, delayed.queue_states)
+            assert np.array_equal(
+                info_a["drops_total"], info_b["drops_total"]
+            )
+            assert np.array_equal(
+                info_a["arrival_rates"], info_b["arrival_rates"]
+            )
+
+    def test_snapshot_ring_buffer(self, config, policy):
+        env = BatchedDelayedFiniteEnv(
+            config, num_replicas=2, delay_model=DeterministicDelay(2), seed=0
+        )
+        env.reset(0)
+        # Before any step every age clamps to the initial snapshot.
+        assert np.array_equal(env.snapshot(0), env.snapshot(2))
+        states = [env.queue_states]
+        for _ in range(3):
+            env.step_with_policy(policy)
+            states.append(env.queue_states)
+        assert np.array_equal(env.snapshot(0), states[-1])
+        assert np.array_equal(env.snapshot(2), states[-3])
+        with pytest.raises(ValueError):
+            env.snapshot(3)
+
+    def test_stochastic_delays_change_the_stream(self, config, policy):
+        """A non-degenerate delay model consumes extra randomness and
+        routes against stale snapshots — trajectories must diverge from
+        the dense env (staleness has consequences)."""
+        dense = BatchedFiniteSystemEnv(
+            config, num_replicas=4, per_packet_randomization=True, seed=3
+        )
+        delayed = BatchedDelayedFiniteEnv(
+            config,
+            num_replicas=4,
+            delay_model=IIDDelay([0.25, 0.5, 0.25]),
+            seed=3,
+        )
+        dense.reset(3)
+        delayed.reset(3)
+        diverged = False
+        for _ in range(10):
+            dense.step_with_policy(policy)
+            delayed.step_with_policy(policy)
+            if not np.array_equal(dense.queue_states, delayed.queue_states):
+                diverged = True
+        assert diverged
+
+    def test_arrival_mass_conserved(self, config, policy):
+        """The delay mixture thins the same global Poisson stream: the
+        frozen rates must sum to M·λ_t per replica, like the dense env."""
+        env = BatchedDelayedFiniteEnv(
+            config,
+            num_replicas=3,
+            delay_model=IIDDelay([0.5, 0.3, 0.2]),
+            seed=7,
+        )
+        env.reset(7)
+        for _ in range(5):
+            lam = env.current_rates.copy()
+            _, _, info = env.step_with_policy(policy)
+            assert np.allclose(
+                info["arrival_rates"].sum(axis=1),
+                config.num_queues * lam,
+            )
+
+    def test_regime_chain_advances(self, config, policy):
+        model = MarkovModulatedDelay.synced_degraded(
+            p_degrade=0.9, p_recover=0.1
+        )
+        env = BatchedDelayedFiniteEnv(
+            config, num_replicas=4, delay_model=model, seed=1
+        )
+        env.reset(1)
+        seen_degraded = False
+        for _ in range(10):
+            _, _, info = env.step_with_policy(policy)
+            if np.any(info["delay_regimes"] == 1):
+                seen_degraded = True
+        assert seen_degraded
+
+    def test_committed_choice_rejected(self, config):
+        with pytest.raises(ValueError):
+            BatchedDelayedFiniteEnv(
+                config, num_replicas=2, per_packet_randomization=False
+            )
+
+    def test_sweeps_through_executor(self, config):
+        """Delayed envs shard through the orchestrator like any other
+        batched environment (pickling, chunk merging)."""
+        from repro.experiments.parallel import EvalRequest, SweepExecutor
+
+        policy = JoinShortestQueuePolicy(config.num_queue_states, config.d)
+        request = EvalRequest(
+            config=config,
+            policy=policy,
+            num_runs=4,
+            num_epochs=5,
+            seed=0,
+            max_batch_replicas=2,
+            env_cls=BatchedDelayedFiniteEnv,
+            env_kwargs={"delay_model": IIDDelay([0.5, 0.5])},
+        )
+        serial = SweepExecutor(workers=1).run([request])[0]
+        pooled = SweepExecutor(workers=2).run([request])[0]
+        assert np.array_equal(serial.drops, pooled.drops)

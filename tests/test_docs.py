@@ -160,3 +160,74 @@ class TestManifestSync:
         for spec in load_manifest().artifacts:
             if spec.kind == "scenario":
                 assert spec.params["scenario"] in registered
+
+
+class TestWorkloadCatalog:
+    """docs/workloads.md is normative: registering a scenario without a
+    catalog row fails the suite (and CI's docs job, which runs the same
+    check via scripts/check_scenario_catalog.py)."""
+
+    def test_every_registered_scenario_is_catalogued(self):
+        import sys
+
+        sys.path.insert(0, str(REPO_ROOT / "scripts"))
+        try:
+            from check_scenario_catalog import missing_scenarios
+        finally:
+            sys.path.pop(0)
+        assert missing_scenarios() == []
+
+    def test_catalog_check_fails_on_missing_scenario(self, tmp_path):
+        import sys
+
+        sys.path.insert(0, str(REPO_ROOT / "scripts"))
+        try:
+            from check_scenario_catalog import missing_scenarios
+        finally:
+            sys.path.pop(0)
+        stale = tmp_path / "workloads.md"
+        stale.write_text("# Workload catalog\n\nonly `paper-baseline`.\n")
+        missing = missing_scenarios(stale)
+        assert "diurnal-stream" in missing
+        assert "stochastic-delay" in missing
+
+    def test_streaming_scenarios_registered(self):
+        from repro.scenarios import available_scenarios
+
+        names = set(available_scenarios())
+        assert {"diurnal-stream", "flash-crowd", "stochastic-delay"} <= names
+
+
+class TestServingDocs:
+    def test_serving_pages_in_nav(self):
+        pages = set(_nav_pages())
+        assert "serving.md" in pages
+        assert "workloads.md" in pages
+
+    def test_serving_guide_defines_metrics(self):
+        from repro.serving.metrics import SUMMARY_FIELDS
+
+        text = (DOCS_DIR / "serving.md").read_text()
+        for field in SUMMARY_FIELDS:
+            base = field.split("_p5")[0].split("_p9")[0]
+            assert base in text, f"serving.md does not define {field}"
+
+    def test_api_page_covers_least_documented_modules(self):
+        text = (DOCS_DIR / "api.md").read_text()
+        for module in (
+            "repro.queueing.arrivals",
+            "repro.queueing.events",
+            "repro.utils.stats",
+            "repro.serving.metrics",
+            "repro.serving.engine",
+            "repro.queueing.workloads",
+            "repro.queueing.delays",
+            "repro.meanfield.delayed",
+        ):
+            assert f"::: {module}" in text, f"api.md missing {module}"
+
+    def test_paper_map_covers_delay_extension(self):
+        text = (DOCS_DIR / "paper-map.md").read_text()
+        assert "meanfield/delayed.py" in text
+        assert "serving" in text
+        assert "tests/test_delayed_meanfield.py" in text

@@ -30,6 +30,9 @@ BUILTIN_NAMES = (
     "torus-local",
     "random-regular",
     "sparse-heterogeneous",
+    "diurnal-stream",
+    "flash-crowd",
+    "stochastic-delay",
 )
 
 
@@ -325,3 +328,74 @@ class TestScenarioConfigHelpers:
     def test_overload_scenario_is_overloaded(self):
         spec = get_scenario("overload")
         assert spec.base_config.offered_load > 1.0
+
+
+class TestStreamingScenarioSweeps:
+    """The streaming-native scenarios also run as finite sweeps (the
+    registry contract: every name works with both `scenario` and
+    `stream`)."""
+
+    @pytest.mark.parametrize(
+        "name", ["diurnal-stream", "flash-crowd", "stochastic-delay"]
+    )
+    def test_tiny_sweep_runs(self, name):
+        result = run_scenario(
+            name, delta_ts=(2.0,), num_queues=8, num_runs=2, seed=0
+        )
+        assert result.delta_ts == (2.0,)
+        for series in result.results.values():
+            assert len(series) == 1
+            assert np.isfinite(series[0].mean_drops)
+
+    def test_stochastic_delay_worker_invariance(self):
+        kwargs = dict(delta_ts=(2.0,), num_queues=8, num_runs=4, seed=1)
+        serial = run_scenario("stochastic-delay", workers=1, **kwargs)
+        pooled = run_scenario("stochastic-delay", workers=2, **kwargs)
+        for policy in serial.results:
+            assert np.array_equal(
+                serial.results[policy][0].drops,
+                pooled.results[policy][0].drops,
+            )
+
+    def test_streaming_scenarios_store_round_trip(self, tmp_path):
+        from repro.store import ExperimentStore
+
+        store = ExperimentStore(tmp_path / "store")
+        kwargs = dict(delta_ts=(2.0,), num_queues=8, num_runs=2, seed=0)
+        cold = run_scenario("diurnal-stream", **kwargs)
+        fresh = run_scenario("diurnal-stream", store=store, **kwargs)
+        assert store.stats.writes > 0
+        warm = run_scenario("diurnal-stream", store=store, **kwargs)
+        assert store.stats.hits >= store.stats.writes
+        for policy in cold.results:
+            assert np.array_equal(
+                cold.results[policy][0].drops,
+                fresh.results[policy][0].drops,
+            )
+            assert np.array_equal(
+                cold.results[policy][0].drops,
+                warm.results[policy][0].drops,
+            )
+
+
+class TestFlashCrowdTiming:
+    """Regression: the flash crowd is anchored in model time, so every
+    Δt cell of a sweep (eval horizon ≈ 500/Δt epochs) sees the spike."""
+
+    @pytest.mark.parametrize("delta_t", [1.0, 3.0, 5.0, 7.0, 10.0])
+    def test_spike_inside_every_sweep_cell(self, delta_t):
+        from repro.scenarios.builtin import (
+            FLASH_PEAK_RATE,
+            flash_crowd_arrival_process,
+        )
+
+        spec = get_scenario("flash-crowd")
+        config = spec.config_for(delta_t)
+        horizon = config.resolved_eval_length()
+        process = spec.env_kwargs_for(config)["arrival_process"]
+        rates = [process.rate_at(t) for t in range(horizon)]
+        assert max(rates) == pytest.approx(FLASH_PEAK_RATE)
+        # Peak lands at model time ~110 for every delta_t.
+        peak_time = int(np.argmax(rates)) * delta_t
+        assert 90.0 <= peak_time <= 130.0
+        assert flash_crowd_arrival_process(delta_t).rate_at(0) == 0.6

@@ -123,6 +123,38 @@ class TestFingerprint:
         b.append(b)
         assert fingerprint(a) == fingerprint(b)
 
+    def test_stable_under_temporary_id_reuse(self, config):
+        """Regression: the cycle-guard memo must keep visited objects
+        alive — ids of freed traversal temporaries (``vars()`` dicts)
+        could otherwise be reused and hash as spurious back-references,
+        making the digest allocator-dependent."""
+        import gc
+
+        p1 = JoinShortestQueuePolicy(config.num_queue_states, config.d)
+        payload = {
+            "config": config.to_dict(),
+            "policies": [p1, p1, JoinShortestQueuePolicy(3, 2)],
+            "nested": {"inner": [config, {"deep": p1}]},
+        }
+        digests = set()
+        for i in range(30):
+            digests.add(fingerprint(payload))
+            gc.collect()
+            _ = [{"churn": j, "x": [j] * 5} for j in range(50)]
+        assert len(digests) == 1
+
+    def test_fingerprint_exclude_skips_mutable_cursor(self):
+        """Classes may exclude replay-irrelevant mutable state (e.g. a
+        profile's playback cursor) from their fingerprint."""
+        from repro.queueing.workloads import DiurnalRate
+
+        a = DiurnalRate(0.7, 0.1, period=6)
+        before = fingerprint(a)
+        a.sample_initial_mode()
+        a.step_mode(0)
+        assert fingerprint(a) == before
+        assert fingerprint(DiurnalRate(0.7, 0.2, period=6)) != before
+
 
 class TestShardKeys:
     def test_keys_stable_across_fresh_objects(self, config, jsq):
