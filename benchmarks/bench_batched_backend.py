@@ -11,9 +11,19 @@ equivalence check of the drop estimates (both backends simulate the
 same law; see ``docs/scaling.md`` for the scaling regime in which the
 batched path wins and where the two converge).
 
+With ``--backend NAME`` the comparison switches to epoch *kernels*: the
+same batched sweep runs once under the NumPy reference kernel and once
+under the named kernel (e.g. ``numba``), checks bit-identity when the
+kernel preserves the RNG-draw contract (statistical equivalence
+otherwise), and — when the kernel is genuinely JIT-compiled — asserts
+the ≥ ``MIN_SPEEDUP``× wall-clock win. When numba is absent the
+registry falls back to NumPy, the identity checks still run (trivially,
+on identical streams) and the speedup assertion is skipped.
+
 Runs standalone or under pytest-benchmark:
 
     PYTHONPATH=src python benchmarks/bench_batched_backend.py [--quick]
+    PYTHONPATH=src python benchmarks/bench_batched_backend.py --quick --backend numba
     PYTHONPATH=src python -m pytest benchmarks/bench_batched_backend.py
 
 The full sweep asserts the batched backend is at least ``MIN_SPEEDUP``×
@@ -49,10 +59,13 @@ def run_backend_sweep(
     clients_per_queue: int = 4,
     num_runs: int = 32,
     seed: int = 0,
+    sim_backend: str = "numpy",
 ) -> tuple[dict, float]:
     """Evaluate JSQ(2) over the delay sweep with one backend.
 
-    Returns ``(per-Δt MonteCarloResult dict, total wall-clock seconds)``.
+    ``backend`` selects the execution style (``"batched"``/``"scalar"``),
+    ``sim_backend`` the epoch kernel simulating each shard. Returns
+    ``(per-Δt MonteCarloResult dict, total wall-clock seconds)``.
     """
     results = {}
     total = 0.0
@@ -74,6 +87,7 @@ def run_backend_sweep(
             backend=backend,
             max_batch_replicas=num_runs,
             env_kwargs={"per_packet_randomization": True},
+            sim_backend=sim_backend,
         )
         total += time.perf_counter() - start
     return results, total
@@ -169,6 +183,136 @@ def run_bench(
     return stats
 
 
+def run_kernel_bench(
+    kernel_name: str,
+    quick: bool = False,
+    seed: int = 0,
+    json_path: Path | None = DEFAULT_JSON,
+) -> dict:
+    """Epoch-kernel comparison: ``kernel_name`` vs the NumPy reference.
+
+    Bit-identity is required whenever the resolved kernel preserves the
+    RNG-draw contract (every builtin does); the ≥ ``MIN_SPEEDUP``×
+    wall-clock assertion only arms on the full sweep when the kernel is
+    genuinely compiled — under the NumPy fallback there is nothing to
+    measure, but the identity gauntlet still runs.
+    """
+    import warnings
+
+    from repro.queueing.backends import get_backend
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always", RuntimeWarning)
+        kernel = get_backend(kernel_name)
+    for w in caught:
+        print(f"[warning] {w.message}")
+
+    delta_ts = QUICK_DELTA_TS if quick else FULL_DELTA_TS
+    num_runs = 16 if quick else 32
+    if kernel.compiled:
+        # JIT warmup outside the timed region: one tiny sweep triggers
+        # compilation of every njit loop so timings measure steady state.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            run_backend_sweep(
+                "batched", (2.0,), num_queues=10, num_runs=2, seed=seed,
+                sim_backend=kernel_name,
+            )
+    reference, t_numpy = run_backend_sweep(
+        "batched", delta_ts, num_runs=num_runs, seed=seed
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        candidate, t_kernel = run_backend_sweep(
+            "batched", delta_ts, num_runs=num_runs, seed=seed,
+            sim_backend=kernel_name,
+        )
+
+    identical = all(
+        np.array_equal(candidate[dt].drops, reference[dt].drops)
+        for dt in delta_ts
+    )
+    gaps = equivalence_gaps(candidate, reference)
+    worst = max(gaps.values())
+    speedup = t_numpy / t_kernel
+
+    rows = [
+        [
+            f"{dt:g}",
+            f"{candidate[dt].mean_drops:.2f}",
+            f"{reference[dt].mean_drops:.2f}",
+            "yes" if np.array_equal(
+                candidate[dt].drops, reference[dt].drops
+            ) else f"|z|={gaps[dt]:.2f}",
+        ]
+        for dt in delta_ts
+    ]
+    print(
+        format_table(
+            ["Δt", f"{kernel.name} drops", "numpy drops", "bit-identical"],
+            rows,
+            title=(
+                f"Epoch kernel '{kernel.name}' vs NumPy reference — "
+                f"{num_runs} replicas, JSQ(2), "
+                f"{'compiled' if kernel.compiled else 'fallback (no JIT)'}"
+            ),
+        )
+    )
+    print(
+        f"\nwall-clock: numpy {t_numpy:.2f}s, {kernel.name} "
+        f"{t_kernel:.2f}s -> {speedup:.1f}x speedup"
+    )
+
+    assert_speedup = bool(kernel.compiled and not quick)
+    stats = {
+        "benchmark": "batched_backend",
+        "comparison": "kernel",
+        "mode": "quick" if quick else "full",
+        "requested_backend": kernel_name,
+        "resolved_backend": kernel.name,
+        "compiled": bool(kernel.compiled),
+        "preserves_rng_contract": bool(kernel.preserves_rng_contract),
+        "bit_identical": bool(identical),
+        "wall_clock_s": {
+            "numpy": round(t_numpy, 4),
+            kernel.name: round(t_kernel, 4),
+        },
+        "speedup": round(speedup, 3),
+        "worst_z": round(worst, 3),
+        "scale": {
+            "num_queues": 100,
+            "num_clients": 400,
+            "num_runs": num_runs,
+            "delta_ts": list(delta_ts),
+        },
+        "min_speedup_asserted": MIN_SPEEDUP if assert_speedup else None,
+    }
+    if json_path is not None:
+        json_path.write_text(json.dumps(stats, indent=2) + "\n")
+        print(f"[json written to {json_path}]")
+
+    if kernel.preserves_rng_contract:
+        assert identical, (
+            f"kernel '{kernel.name}' claims to preserve the RNG-draw "
+            "contract but diverged bitwise from the NumPy reference"
+        )
+    else:
+        assert worst < 4.0, (
+            f"kernel '{kernel.name}' disagrees statistically: "
+            f"worst |z| = {worst:.2f}"
+        )
+    if assert_speedup:
+        assert speedup >= MIN_SPEEDUP, (
+            f"compiled kernel only {speedup:.1f}x faster than the NumPy "
+            f"batched path (expected >= {MIN_SPEEDUP}x)"
+        )
+    elif kernel.compiled:
+        print("[quick mode: speedup assertion skipped]")
+    else:
+        print("[kernel not compiled: speedup assertion skipped]")
+    return stats
+
+
 def test_batched_backend(benchmark, results_dir):
     """pytest-benchmark entry point (full sweep)."""
     from conftest import run_once
@@ -188,13 +332,26 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="compare this epoch kernel (e.g. 'numba') against the NumPy "
+        "reference instead of the batched-vs-scalar execution styles",
+    )
+    parser.add_argument(
         "--json",
         type=Path,
         default=DEFAULT_JSON,
         help=f"machine-readable output path (default {DEFAULT_JSON})",
     )
     args = parser.parse_args(argv)
-    run_bench(quick=args.quick, seed=args.seed, json_path=args.json)
+    if args.backend is not None:
+        run_kernel_bench(
+            args.backend, quick=args.quick, seed=args.seed,
+            json_path=args.json,
+        )
+    else:
+        run_bench(quick=args.quick, seed=args.seed, json_path=args.json)
     return 0
 
 

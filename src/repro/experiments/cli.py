@@ -114,6 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
     p4.add_argument("--csv", type=Path, default=None)
     _add_workers_flag(p4)
     _add_store_flag(p4)
+    _add_sim_backend_flag(p4)
 
     p5 = sub.add_parser("fig5", help="Figure 5: delay sweep")
     p5.add_argument("--queues", type=int, default=100)
@@ -126,6 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
     p5.add_argument("--csv", type=Path, default=None)
     _add_workers_flag(p5)
     _add_store_flag(p5)
+    _add_sim_backend_flag(p5)
 
     p6 = sub.add_parser("fig6", help="Figure 6: N >> M violated")
     p6.add_argument("--queues", type=int, default=100)
@@ -138,6 +140,7 @@ def build_parser() -> argparse.ArgumentParser:
     p6.add_argument("--csv", type=Path, default=None)
     _add_workers_flag(p6)
     _add_store_flag(p6)
+    _add_sim_backend_flag(p6)
 
     ps = sub.add_parser(
         "scenario",
@@ -163,6 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--csv", type=Path, default=None)
     _add_workers_flag(ps)
     _add_store_flag(ps)
+    _add_sim_backend_flag(ps)
 
     pstream = sub.add_parser(
         "stream",
@@ -200,6 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workers_flag(pstream)
     _add_store_flag(pstream)
+    _add_sim_backend_flag(pstream)
 
     pr = sub.add_parser(
         "reproduce",
@@ -254,6 +259,18 @@ def _add_store_flag(subparser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_sim_backend_flag(subparser: argparse.ArgumentParser) -> None:
+    from repro.queueing.backends import available_backends
+
+    subparser.add_argument(
+        "--sim-backend", default="numpy", metavar="NAME",
+        choices=(*available_backends(), "auto"),
+        help="epoch kernel: 'numpy' (default), 'numba' (JIT-compiled, "
+        "bit-identical, falls back to numpy when numba is missing) or "
+        "'auto' (fastest runnable)",
+    )
+
+
 def _emit(text: str, result, csv_path: Path | None) -> None:
     print(text)
     if csv_path is not None and result is not None:
@@ -294,6 +311,7 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             workers=args.workers,
             store=_open_store(args),
+            sim_backend=args.sim_backend,
         )
         _emit(result.format_table(), result, args.csv)
     elif args.command == "fig5":
@@ -304,6 +322,7 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             workers=args.workers,
             store=_open_store(args),
+            sim_backend=args.sim_backend,
         )
         _emit(result.format_table(), result, args.csv)
     elif args.command == "fig6":
@@ -314,6 +333,7 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             workers=args.workers,
             store=_open_store(args),
+            sim_backend=args.sim_backend,
         )
         _emit(result.format_table(), result, args.csv)
     elif args.command == "scenario":
@@ -334,6 +354,8 @@ def main(argv: list[str] | None = None) -> int:
             ]
             if args.workers != 1:
                 conflicting.append("--workers")
+            if args.sim_backend != "numpy":
+                conflicting.append("--sim-backend")
             if conflicting:
                 parser.error(
                     "'scenario list' prints the catalogue and takes no "
@@ -356,6 +378,7 @@ def main(argv: list[str] | None = None) -> int:
                     workers=args.workers,
                     seed=args.seed,
                     store=_open_store(args),
+                    sim_backend=args.sim_backend,
                 )
             except KeyError as exc:
                 # Unknown scenario: a usage error, not a traceback. The
@@ -384,6 +407,7 @@ def main(argv: list[str] | None = None) -> int:
                 workers=args.workers,
                 seed=args.seed,
                 store=_open_store(args),
+                sim_backend=args.sim_backend,
             )
         except KeyError as exc:
             # Unknown scenario or policy: a usage error, not a traceback.

@@ -91,6 +91,7 @@ def run_fig4(
     seed: int = 0,
     workers: int = 1,
     store: "ExperimentStore | None" = None,
+    sim_backend: str = "numpy",
 ) -> Fig4Result:
     """Regenerate one Figure 4 panel (scaled grid by default).
 
@@ -100,7 +101,9 @@ def run_fig4(
     to the in-process sweep; the mean-field reference value is cheap and
     stays in-process either way. ``store`` attaches a content-addressed
     shard cache (see :mod:`repro.store`) so repeated or overlapping
-    panel runs skip already-computed replica chunks.
+    panel runs skip already-computed replica chunks. ``sim_backend``
+    picks the epoch kernel (``"numpy"``, ``"numba"``, ``"auto"``; see
+    :mod:`repro.queueing.backends`) without changing any statistic.
     """
     from repro.experiments.parallel import EvalRequest, SweepExecutor
 
@@ -126,6 +129,7 @@ def run_fig4(
                 num_runs=num_runs,
                 num_epochs=num_epochs,
                 seed=seed,
+                sim_backend=sim_backend,
             )
         )
         n_values.append(n)

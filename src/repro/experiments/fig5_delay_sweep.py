@@ -92,6 +92,7 @@ def run_fig5(
     seed: int = 0,
     workers: int = 1,
     store: "ExperimentStore | None" = None,
+    sim_backend: str = "numpy",
 ) -> Fig5Result:
     """Regenerate one Figure 5 panel (scaled grid by default).
 
@@ -109,7 +110,8 @@ def run_fig5(
     content-addressed shard cache (see :mod:`repro.store`): chunks
     already computed by a previous panel run — or by any sweep sharing
     cells with this grid — are merged from the store instead of
-    simulated.
+    simulated. ``sim_backend`` picks the epoch kernel (``"numpy"``,
+    ``"numba"``, ``"auto"``) without changing any statistic.
     """
     from repro.experiments.parallel import EvalRequest, SweepExecutor
 
@@ -145,6 +147,7 @@ def run_fig5(
                     env_kwargs={
                         "per_packet_randomization": per_packet_randomization
                     },
+                    sim_backend=sim_backend,
                 )
             )
             cells.append(name)

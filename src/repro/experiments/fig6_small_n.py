@@ -52,11 +52,13 @@ def run_fig6(
     seed: int = 0,
     workers: int = 1,
     store: "ExperimentStore | None" = None,
+    sim_backend: str = "numpy",
 ) -> Fig6Result:
     """Regenerate both Figure 6 panels (paper uses ``M = 1000``).
 
-    ``workers`` and ``store`` (the content-addressed shard cache) are
-    forwarded to each panel's sharded sweep.
+    ``workers``, ``store`` (the content-addressed shard cache) and
+    ``sim_backend`` (the epoch kernel) are forwarded to each panel's
+    sharded sweep.
     """
     panel_a = run_fig5(
         num_queues=num_queues,
@@ -67,6 +69,7 @@ def run_fig6(
         seed=seed,
         workers=workers,
         store=store,
+        sim_backend=sim_backend,
     )
     panel_a.num_clients_rule = "M"
     panel_b = run_fig5(
@@ -78,6 +81,7 @@ def run_fig6(
         seed=seed,
         workers=workers,
         store=store,
+        sim_backend=sim_backend,
     )
     panel_b.num_clients_rule = "M/2"
     return Fig6Result(panel_a=panel_a, panel_b=panel_b)

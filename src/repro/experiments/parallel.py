@@ -48,6 +48,7 @@ from typing import TYPE_CHECKING, Any, Sequence
 import numpy as np
 
 from repro.config import SystemConfig
+from repro.queueing.backends import available_backends
 from repro.queueing.batched_env import (
     BatchedFiniteSystemEnv,
     _BatchedQueueSystemBase,
@@ -85,6 +86,13 @@ class EvalRequest:
     or a subclass of the batched queue-system base
     (``backend="batched"``); ``None`` selects the standard
     finite-system environment for the chosen backend.
+
+    ``backend`` picks the *execution style* (lock-step replicas vs a
+    scalar loop); ``sim_backend`` independently picks the *epoch kernel*
+    from :mod:`repro.queueing.backends` (``"numpy"``, ``"numba"`` or
+    ``"auto"``). Kernels that preserve the RNG-draw contract produce
+    bit-identical results, so shards cached under one such kernel are
+    reused by the others.
     """
 
     config: SystemConfig
@@ -96,11 +104,19 @@ class EvalRequest:
     max_batch_replicas: int = 64
     env_cls: type | None = None
     env_kwargs: dict[str, Any] = field(default_factory=dict)
+    sim_backend: str = "numpy"
 
     def __post_init__(self) -> None:
         if self.backend not in ("batched", "scalar"):
             raise ValueError(
                 f"unknown backend {self.backend!r}; use 'batched' or 'scalar'"
+            )
+        if self.sim_backend != "auto" and (
+            self.sim_backend not in available_backends()
+        ):
+            raise ValueError(
+                f"unknown sim_backend {self.sim_backend!r}; registered "
+                f"kernels: {available_backends()} (or 'auto')"
             )
         if self.max_batch_replicas < 1:
             raise ValueError("max_batch_replicas must be >= 1")
@@ -196,6 +212,12 @@ def _run_shard(request: EvalRequest, shard: _Shard) -> np.ndarray:
     Must remain a module-level function (pickled by reference when
     dispatched to worker processes).
     """
+    # The kernel choice travels as a kwarg only when it deviates from
+    # the default, so custom env classes that predate the ``backend``
+    # parameter keep working with the default kernel.
+    env_kwargs = dict(request.env_kwargs)
+    if request.sim_backend != "numpy":
+        env_kwargs.setdefault("backend", request.sim_backend)
     if request.uses_batched_backend():
         rng = np.random.default_rng(shard.seeds[0])
         env_cls = request.env_cls or BatchedFiniteSystemEnv
@@ -203,7 +225,7 @@ def _run_shard(request: EvalRequest, shard: _Shard) -> np.ndarray:
             request.config,
             num_replicas=shard.num_runs,
             seed=rng,
-            **request.env_kwargs,
+            **env_kwargs,
         )
         result = run_episodes_batched(
             env, request.policy, num_epochs=request.num_epochs, seed=rng
@@ -213,7 +235,7 @@ def _run_shard(request: EvalRequest, shard: _Shard) -> np.ndarray:
     drops = np.empty(shard.num_runs)
     for i, child in enumerate(shard.seeds):
         rng = np.random.default_rng(child)
-        env = env_cls(request.config, seed=rng, **request.env_kwargs)
+        env = env_cls(request.config, seed=rng, **env_kwargs)
         episode = run_episode(
             env, request.policy, num_epochs=request.num_epochs, seed=rng
         )

@@ -61,6 +61,7 @@ def evaluate_policy_finite(
     max_batch_replicas: int = 64,
     workers: int = 1,
     store: "ExperimentStore | None" = None,
+    sim_backend: str = "numpy",
 ) -> MonteCarloResult:
     """Monte-Carlo estimate of cumulative per-queue drops (Figures 4-6).
 
@@ -84,6 +85,11 @@ def evaluate_policy_finite(
     replica chunks are reused instead of simulated, and fresh chunks are
     persisted for the next run — merged results stay bit-identical
     either way.
+
+    ``sim_backend`` selects the epoch kernel from
+    :mod:`repro.queueing.backends` (``"numpy"``, ``"numba"`` or
+    ``"auto"``) independently of the execution style; contract-
+    preserving kernels leave the result bit-identical.
     """
     # Lazy import: parallel builds on this module's result type. The
     # replica-chunk layout, SeedSequence spawning and both execution
@@ -103,6 +109,7 @@ def evaluate_policy_finite(
         max_batch_replicas=max_batch_replicas,
         env_cls=env_cls,
         env_kwargs=env_kwargs or {},
+        sim_backend=sim_backend,
     )
     return SweepExecutor(workers=workers, store=store).run([request])[0]
 

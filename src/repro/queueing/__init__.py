@@ -9,6 +9,11 @@ observation-delay models (``delays``, ``delayed_env``).
 """
 
 from repro.queueing.arrivals import MarkovModulatedRate
+from repro.queueing.backends import (
+    available_backends,
+    get_backend,
+    runnable_backends,
+)
 from repro.queueing.queue_ctmc import (
     simulate_queues_epoch,
     simulate_queues_epoch_batched,
@@ -63,6 +68,9 @@ __all__ = [
     "HeterogeneousFiniteEnv",
     "ServerClassSpec",
     "MarkovModulatedRate",
+    "available_backends",
+    "get_backend",
+    "runnable_backends",
     "simulate_queues_epoch",
     "simulate_queues_epoch_batched",
     "sample_client_choices",

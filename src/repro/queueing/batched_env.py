@@ -36,12 +36,11 @@ import numpy as np
 from repro.config import SystemConfig
 from repro.meanfield.decision_rule import DecisionRule
 from repro.queueing.arrivals import MarkovModulatedRate
+from repro.queueing.backends import draw_uniform_queue_samples, get_backend
 from repro.queueing.clients import (
-    client_choice_counts_batched,
     infinite_client_rates_batched,
-    per_packet_rate_fractions_batched,
+    stack_rules,
 )
-from repro.queueing.queue_ctmc import simulate_queues_epoch_batched
 from repro.utils.rng import as_generator
 
 if TYPE_CHECKING:  # import cycle: policies build on top of the queue substrate
@@ -68,9 +67,15 @@ class _BatchedQueueSystemBase:
         service_rates: np.ndarray | None = None,
         per_packet_randomization: bool = False,
         seed=None,
+        backend: str | None = None,
     ) -> None:
         if num_replicas < 1:
             raise ValueError(f"num_replicas must be >= 1, got {num_replicas}")
+        # ``backend`` names an epoch kernel from the simulation-backend
+        # registry ("numpy", "numba", "auto", or a kernel instance);
+        # every kernel honoring the RNG-draw contract leaves the random
+        # streams — and therefore all results — bit-identical.
+        self.kernel = get_backend(backend)
         self.config = config
         self.num_replicas = int(num_replicas)
         self.per_packet_randomization = per_packet_randomization
@@ -171,7 +176,7 @@ class _BatchedQueueSystemBase:
             raise RuntimeError("environment must be reset before use")
         self._check_rules(rules)
         rates = self._frozen_rates(rules)
-        new_states, drops = simulate_queues_epoch_batched(
+        new_states, drops = self.kernel.serve_epoch(
             self._states,
             rates,
             self.service_rates,
@@ -229,16 +234,24 @@ class BatchedFiniteSystemEnv(_BatchedQueueSystemBase):
 
     def _frozen_rates(self, rules: RulesLike) -> np.ndarray:
         lam = self.current_rates[:, None]
+        probs = stack_rules(rules, self.num_replicas)
+        sampled = draw_uniform_queue_samples(
+            self._rng,
+            self.num_replicas,
+            self.config.num_clients,
+            probs.ndim - 2,
+            self.config.num_queues,
+        )
         if self.per_packet_randomization:
             # Paper remark below Eq. (4): in the experiments every packet
             # re-samples its slot, so the frozen rate thins over the
             # clients' full routing distributions instead of commitments.
-            fractions = per_packet_rate_fractions_batched(
-                self._states, self.config.num_clients, rules, self._rng
+            fractions = self.kernel.packet_fractions(
+                self._states, sampled, probs, self.config.num_clients
             )
             return self.config.num_queues * lam * fractions
-        counts = client_choice_counts_batched(
-            self._states, self.config.num_clients, rules, self._rng
+        counts = self.kernel.committed_counts(
+            self._states, sampled, probs, self._rng
         )
         return (
             self.config.num_queues

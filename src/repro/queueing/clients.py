@@ -37,6 +37,8 @@ __all__ = [
     "client_choice_counts_batched",
     "per_packet_rate_fractions_batched",
     "infinite_client_rates_batched",
+    "committed_counts_from_samples",
+    "packet_fractions_from_samples",
 ]
 
 
@@ -96,6 +98,90 @@ def _batched_sample_slots(
     cdf[..., -1] = 1.0
     uniforms = rng.random(rows.shape[:-1])
     return (uniforms[..., None] > cdf).sum(axis=-1)
+
+
+def committed_counts_from_samples(
+    observed: np.ndarray,
+    sampled: np.ndarray,
+    probs: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Committed-choice counts given already-sampled queue indices.
+
+    The *choose* stage of the epoch-kernel contract (see
+    :mod:`repro.queueing.backends.protocol`): each client observes the
+    states of its ``d`` sampled queues, draws one slot from its rule row
+    (one ``rng.random((E, N))`` call — the only stream consumption of
+    this stage) and commits to the chosen queue.
+
+    Parameters
+    ----------
+    observed : numpy.ndarray
+        Per-queue observed states, shape ``(E, M)`` (queue fillings, or
+        the flat ``z·C + c`` encoding of the heterogeneous system).
+    sampled : numpy.ndarray
+        Sampled queue indices, shape ``(E, N, d)``.
+    probs : numpy.ndarray
+        Stacked rule table from :func:`stack_rules`,
+        shape ``(E, S, ..., S, d)``.
+    rng : numpy.random.Generator
+        Slot-selection stream.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer committed-client counts per queue, shape ``(E, M)``.
+    """
+    e, m = observed.shape
+    offsets = (np.arange(e, dtype=sampled.dtype) * m)[:, None, None]
+    zbar = observed.take((sampled + offsets).ravel()).reshape(sampled.shape)
+    rows = _batched_rule_rows(probs, zbar)
+    slots = _batched_sample_slots(rows, rng)
+    committed = np.take_along_axis(sampled, slots[..., None], axis=-1)[..., 0]
+    row_offsets = np.arange(e, dtype=committed.dtype)[:, None] * m
+    return np.bincount(
+        (committed + row_offsets).ravel(), minlength=e * m
+    ).reshape(e, m)
+
+
+def packet_fractions_from_samples(
+    observed: np.ndarray,
+    sampled: np.ndarray,
+    probs: np.ndarray,
+    num_clients: int,
+) -> np.ndarray:
+    """Per-packet routing fractions given already-sampled queue indices.
+
+    The deterministic *choose* stage under per-packet randomization:
+    every queue accumulates the routing probabilities of every client
+    slot that sampled it (Poisson thinning — no stream consumption).
+    Rows sum to 1.
+
+    Parameters
+    ----------
+    observed : numpy.ndarray
+        Per-queue observed states, shape ``(E, M)``.
+    sampled : numpy.ndarray
+        Sampled queue indices, shape ``(E, N, d)``.
+    probs : numpy.ndarray
+        Stacked rule table from :func:`stack_rules`.
+    num_clients : int
+        ``N`` — the normalizer of the accumulated weights.
+
+    Returns
+    -------
+    numpy.ndarray
+        Arrival-rate fractions per queue, shape ``(E, M)``.
+    """
+    e, m = observed.shape
+    offsets = (np.arange(e, dtype=sampled.dtype) * m)[:, None, None]
+    flat = (sampled + offsets).ravel()
+    zbar = observed.take(flat).reshape(sampled.shape)
+    rows = _batched_rule_rows(probs, zbar)
+    fractions = np.bincount(
+        flat, weights=rows.ravel(), minlength=e * m
+    ).reshape(e, m)
+    return fractions / num_clients
 
 
 def sample_client_choices(
@@ -177,15 +263,17 @@ def client_choice_counts_batched(
     rng=None,
 ) -> np.ndarray:
     """Per-replica committed-client counts, shape ``(E, M)``."""
+    rng = as_generator(rng)
     queue_states = np.asarray(queue_states)
-    _, _, committed = sample_client_choices_batched(
-        queue_states, num_clients, rules, rng
-    )
+    if queue_states.ndim != 2:
+        raise ValueError("queue_states must have shape (replicas, queues)")
     e, m = queue_states.shape
-    offsets = np.arange(e, dtype=committed.dtype)[:, None] * m
-    return np.bincount(
-        (committed + offsets).ravel(), minlength=e * m
-    ).reshape(e, m)
+    if num_clients < 1:
+        raise ValueError("num_clients must be >= 1")
+    probs = stack_rules(rules, e)
+    d = probs.ndim - 2
+    sampled = rng.integers(0, m, size=(e, num_clients, d))
+    return committed_counts_from_samples(queue_states, sampled, probs, rng)
 
 
 def per_packet_rate_fractions(
@@ -234,14 +322,9 @@ def per_packet_rate_fractions_batched(
     probs = stack_rules(rules, e)
     d = probs.ndim - 2
     sampled = rng.integers(0, m, size=(e, num_clients, d))
-    offsets = (np.arange(e, dtype=sampled.dtype) * m)[:, None, None]
-    flat = (sampled + offsets).ravel()
-    zbar = queue_states.take(flat).reshape(sampled.shape)
-    rows = _batched_rule_rows(probs, zbar)
-    fractions = np.bincount(
-        flat, weights=rows.ravel(), minlength=e * m
-    ).reshape(e, m)
-    return fractions / num_clients
+    return packet_fractions_from_samples(
+        queue_states, sampled, probs, num_clients
+    )
 
 
 def expected_choice_counts(

@@ -38,8 +38,9 @@ from collections import deque
 import numpy as np
 
 from repro.config import SystemConfig
+from repro.queueing.backends import draw_uniform_queue_samples
 from repro.queueing.batched_env import _BatchedQueueSystemBase, RulesLike
-from repro.queueing.clients import per_packet_rate_fractions_batched
+from repro.queueing.clients import stack_rules
 from repro.queueing.delays import DelayModel, DeterministicDelay
 
 __all__ = ["BatchedDelayedFiniteEnv"]
@@ -77,6 +78,7 @@ class BatchedDelayedFiniteEnv(_BatchedQueueSystemBase):
         service_rates: np.ndarray | None = None,
         per_packet_randomization: bool = True,
         seed=None,
+        backend: str | None = None,
     ) -> None:
         if not per_packet_randomization:
             raise ValueError(
@@ -90,6 +92,7 @@ class BatchedDelayedFiniteEnv(_BatchedQueueSystemBase):
             service_rates=service_rates,
             per_packet_randomization=True,
             seed=seed,
+            backend=backend,
         )
         self.delay_model = (
             delay_model if delay_model is not None else DeterministicDelay(0)
@@ -130,14 +133,26 @@ class BatchedDelayedFiniteEnv(_BatchedQueueSystemBase):
         )
         return hist
 
+    def _sampled_fractions(self, observed: np.ndarray, probs) -> np.ndarray:
+        """One sample-stage draw plus the kernel's per-packet choose pass."""
+        sampled = draw_uniform_queue_samples(
+            self._rng,
+            self.num_replicas,
+            self.config.num_clients,
+            probs.ndim - 2,
+            self.config.num_queues,
+        )
+        return self.kernel.packet_fractions(
+            observed, sampled, probs, self.config.num_clients
+        )
+
     def _frozen_rates(self, rules: RulesLike) -> np.ndarray:
         lam = self.current_rates[:, None]
+        probs = stack_rules(rules, self.num_replicas)
         if self.delay_model.is_point_mass_at_zero:
             # Paper fast path: one kernel call on the current snapshot,
             # no extra draws — bit-identical to the undelayed env.
-            fractions = per_packet_rate_fractions_batched(
-                self._states, self.config.num_clients, rules, self._rng
-            )
+            fractions = self._sampled_fractions(self._states, probs)
             return self.config.num_queues * lam * fractions
         weights = self.delay_model.sample_fractions_batch(
             self._regimes, self.config.num_clients, self._rng
@@ -147,9 +162,7 @@ class BatchedDelayedFiniteEnv(_BatchedQueueSystemBase):
             w = weights[:, age]
             if not np.any(w > 0.0):
                 continue
-            fractions = per_packet_rate_fractions_batched(
-                self.snapshot(age), self.config.num_clients, rules, self._rng
-            )
+            fractions = self._sampled_fractions(self.snapshot(age), probs)
             mixed += w[:, None] * fractions
         return self.config.num_queues * lam * mixed
 

@@ -57,6 +57,7 @@ class _QueueSystemBase:
         service_rates: np.ndarray | None = None,
         per_packet_randomization: bool = False,
         seed=None,
+        backend: str | None = None,
     ) -> None:
         self._core = self._CORE_CLS(
             config,
@@ -65,6 +66,7 @@ class _QueueSystemBase:
             service_rates=service_rates,
             per_packet_randomization=per_packet_randomization,
             seed=seed,
+            backend=backend,
         )
 
     # -- configuration access -------------------------------------------
@@ -200,9 +202,13 @@ def run_episode(
         raise ValueError("num_epochs must be >= 1")
     env.reset(seed)
     drops = np.empty(steps)
-    dists = np.empty((steps + 1, env.config.num_queue_states)) if record_distributions else None
-    if dists is not None:
-        dists[0] = env.empirical_distribution()
+    dists = None
+    if record_distributions:
+        # Width follows the environment, not the config: heterogeneous
+        # envs distribute over the Z x C observed states, not Z.
+        initial = env.empirical_distribution()
+        dists = np.empty((steps + 1, initial.size))
+        dists[0] = initial
     for t in range(steps):
         _, _, info = env.step_with_policy(policy)
         drops[t] = info["drops_per_queue"]

@@ -35,6 +35,8 @@ from repro.queueing.batched_env import _BatchedQueueSystemBase, RulesLike
 from repro.queueing.clients import (
     _batched_rule_rows,
     _batched_sample_slots,
+    committed_counts_from_samples,
+    packet_fractions_from_samples,
     stack_rules,
 )
 from repro.queueing.topology import TopologySpec
@@ -119,15 +121,22 @@ def neighborhood_choice_counts_batched(
     rng=None,
 ) -> np.ndarray:
     """Per-replica committed-client counts on the graph, shape ``(E, M)``."""
+    rng = as_generator(rng)
     queue_states = np.asarray(queue_states)
-    _, _, committed = sample_neighborhood_choices_batched(
-        queue_states, topology, num_clients, rules, rng
-    )
+    if queue_states.ndim != 2:
+        raise ValueError("queue_states must have shape (replicas, queues)")
     e, m = queue_states.shape
-    offsets = np.arange(e, dtype=committed.dtype)[:, None] * m
-    return np.bincount(
-        (committed + offsets).ravel(), minlength=e * m
-    ).reshape(e, m)
+    if m != topology.num_queues:
+        raise ValueError(
+            f"topology covers {topology.num_queues} queues, states have {m}"
+        )
+    if num_clients < 1:
+        raise ValueError("num_clients must be >= 1")
+    probs = stack_rules(rules, e)
+    d = probs.ndim - 2
+    offsets = topology.client_dispatchers(num_clients) * topology.degree
+    sampled = _sample_queue_indices(topology, offsets, e, d, rng)
+    return committed_counts_from_samples(queue_states, sampled, probs, rng)
 
 
 def neighborhood_rate_fractions_batched(
@@ -160,14 +169,9 @@ def neighborhood_rate_fractions_batched(
     d = probs.ndim - 2
     offsets = topology.client_dispatchers(num_clients) * topology.degree
     sampled = _sample_queue_indices(topology, offsets, e, d, rng)
-    replica_offsets = (np.arange(e, dtype=sampled.dtype) * m)[:, None, None]
-    flat = (sampled + replica_offsets).ravel()
-    zbar = queue_states.take(flat).reshape(sampled.shape)
-    rows = _batched_rule_rows(probs, zbar)
-    fractions = np.bincount(
-        flat, weights=rows.ravel(), minlength=e * m
-    ).reshape(e, m)
-    return fractions / num_clients
+    return packet_fractions_from_samples(
+        queue_states, sampled, probs, num_clients
+    )
 
 
 class BatchedGraphFiniteEnv(_BatchedQueueSystemBase):
@@ -191,6 +195,7 @@ class BatchedGraphFiniteEnv(_BatchedQueueSystemBase):
         service_rates: np.ndarray | None = None,
         per_packet_randomization: bool = False,
         seed=None,
+        backend: str | None = None,
     ) -> None:
         if topology.num_queues != config.num_queues:
             raise ValueError(
@@ -210,26 +215,27 @@ class BatchedGraphFiniteEnv(_BatchedQueueSystemBase):
             service_rates=service_rates,
             per_packet_randomization=per_packet_randomization,
             seed=seed,
+            backend=backend,
         )
         self.topology = topology
 
     def _frozen_rates(self, rules: RulesLike) -> np.ndarray:
         lam = self.current_rates[:, None]
+        probs = stack_rules(rules, self.num_replicas)
+        offsets = (
+            self.topology.client_dispatchers(self.config.num_clients)
+            * self.topology.degree
+        )
+        sampled = _sample_queue_indices(
+            self.topology, offsets, self.num_replicas, probs.ndim - 2, self._rng
+        )
         if self.per_packet_randomization:
-            fractions = neighborhood_rate_fractions_batched(
-                self._states,
-                self.topology,
-                self.config.num_clients,
-                rules,
-                self._rng,
+            fractions = self.kernel.packet_fractions(
+                self._states, sampled, probs, self.config.num_clients
             )
             return self.config.num_queues * lam * fractions
-        counts = neighborhood_choice_counts_batched(
-            self._states,
-            self.topology,
-            self.config.num_clients,
-            rules,
-            self._rng,
+        counts = self.kernel.committed_counts(
+            self._states, sampled, probs, self._rng
         )
         return (
             self.config.num_queues

@@ -32,11 +32,11 @@ import numpy as np
 from repro.config import SystemConfig
 from repro.meanfield.decision_rule import DecisionRule
 from repro.queueing.arrivals import MarkovModulatedRate
+from repro.queueing.backends import draw_uniform_queue_samples
 from repro.queueing.batched_env import _BatchedQueueSystemBase
 from repro.queueing.clients import (
-    client_choice_counts_batched,
     infinite_client_rates_batched,
-    per_packet_rate_fractions_batched,
+    stack_rules,
 )
 
 __all__ = [
@@ -190,6 +190,7 @@ class BatchedHeterogeneousFiniteEnv(_BatchedQueueSystemBase):
         infinite_clients: bool = False,
         per_packet_randomization: bool = False,
         seed=None,
+        backend: str | None = None,
     ) -> None:
         classes = spec.assign_classes(config.num_queues)
         super().__init__(
@@ -199,6 +200,7 @@ class BatchedHeterogeneousFiniteEnv(_BatchedQueueSystemBase):
             service_rates=np.asarray(spec.service_rates)[classes],
             per_packet_randomization=per_packet_randomization,
             seed=seed,
+            backend=backend,
         )
         self.spec = spec
         self.classes = classes
@@ -241,13 +243,21 @@ class BatchedHeterogeneousFiniteEnv(_BatchedQueueSystemBase):
                 observed, rules, self.current_rates
             )
         lam = self.current_rates[:, None]
+        probs = stack_rules(rules, self.num_replicas)
+        sampled = draw_uniform_queue_samples(
+            self._rng,
+            self.num_replicas,
+            self.config.num_clients,
+            probs.ndim - 2,
+            self.config.num_queues,
+        )
         if self.per_packet_randomization:
-            fractions = per_packet_rate_fractions_batched(
-                observed, self.config.num_clients, rules, self._rng
+            fractions = self.kernel.packet_fractions(
+                observed, sampled, probs, self.config.num_clients
             )
             return self.config.num_queues * lam * fractions
-        counts = client_choice_counts_batched(
-            observed, self.config.num_clients, rules, self._rng
+        counts = self.kernel.committed_counts(
+            observed, sampled, probs, self._rng
         )
         return (
             self.config.num_queues
@@ -276,6 +286,7 @@ class HeterogeneousFiniteEnv:
         infinite_clients: bool = False,
         per_packet_randomization: bool = False,
         seed=None,
+        backend: str | None = None,
     ) -> None:
         self._core = BatchedHeterogeneousFiniteEnv(
             config,
@@ -285,6 +296,7 @@ class HeterogeneousFiniteEnv:
             infinite_clients=infinite_clients,
             per_packet_randomization=per_packet_randomization,
             seed=seed,
+            backend=backend,
         )
 
     # -- configuration access -------------------------------------------
@@ -346,6 +358,25 @@ class HeterogeneousFiniteEnv:
 
     def step(self, rule: DecisionRule) -> tuple[np.ndarray, float, dict]:
         hists, rewards, info = self._core.step(rule)
+        return (
+            hists[0],
+            float(rewards[0]),
+            {
+                "drops_total": int(info["drops_total"][0]),
+                "drops_per_queue": float(info["drops_per_queue"][0]),
+                "arrival_rates": info["arrival_rates"][0],
+                "t": info["t"],
+            },
+        )
+
+    def step_with_policy(self, policy) -> tuple[np.ndarray, float, dict]:
+        """Compute ``H_t`` on ``Z × C``, query the policy, apply the rule.
+
+        Mirrors :meth:`repro.queueing.env._QueueSystemBase.step_with_policy`
+        so the scalar heterogeneous system is drivable by the generic
+        :func:`repro.queueing.env.run_episode` loop.
+        """
+        hists, rewards, info = self._core.step_with_policy(policy)
         return (
             hists[0],
             float(rewards[0]),

@@ -34,7 +34,44 @@ __all__ = [
     "simulate_queues_epoch",
     "simulate_queues_epoch_batched",
     "simulate_queue_trajectory",
+    "validate_epoch_inputs",
 ]
+
+
+def validate_epoch_inputs(
+    states: np.ndarray,
+    arrival_rates: np.ndarray,
+    service_rates: np.ndarray | float,
+    delta_t: float,
+    buffer_size: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Canonicalize and validate one epoch's serve-stage inputs.
+
+    Shared by every serve-stage backend (see
+    :mod:`repro.queueing.backends`) so NumPy and compiled kernels reject
+    exactly the same inputs. Returns ``(states, arrival, service)`` with
+    ``states`` left in its input dtype and the rates broadcast to
+    ``(E, M)`` float64 arrays.
+    """
+    states = np.asarray(states)
+    if states.ndim != 2:
+        raise ValueError("states must be a 2-D (replicas, queues) integer array")
+    if states.min(initial=0) < 0 or states.max(initial=0) > buffer_size:
+        raise ValueError(f"states must lie in [0, {buffer_size}]")
+    e, m = states.shape
+    arrival = np.asarray(arrival_rates, dtype=np.float64)
+    if arrival.shape != (e, m):
+        raise ValueError(f"arrival_rates must have shape ({e}, {m})")
+    if arrival.min(initial=0.0) < 0:
+        raise ValueError("arrival rates must be >= 0")
+    service = np.broadcast_to(
+        np.asarray(service_rates, dtype=np.float64), (e, m)
+    ).copy()
+    if service.min(initial=np.inf) <= 0:
+        raise ValueError("service rates must be > 0")
+    if delta_t <= 0:
+        raise ValueError(f"delta_t must be > 0, got {delta_t}")
+    return states, arrival, service
 
 
 def simulate_queues_epoch_batched(
@@ -66,24 +103,10 @@ def simulate_queues_epoch_batched(
     ``e`` while it was full.
     """
     rng = as_generator(rng)
-    states = np.asarray(states)
-    if states.ndim != 2:
-        raise ValueError("states must be a 2-D (replicas, queues) integer array")
-    if states.min(initial=0) < 0 or states.max(initial=0) > buffer_size:
-        raise ValueError(f"states must lie in [0, {buffer_size}]")
+    states, arrival, service = validate_epoch_inputs(
+        states, arrival_rates, service_rates, delta_t, buffer_size
+    )
     e, m = states.shape
-    arrival = np.asarray(arrival_rates, dtype=np.float64)
-    if arrival.shape != (e, m):
-        raise ValueError(f"arrival_rates must have shape ({e}, {m})")
-    if arrival.min(initial=0.0) < 0:
-        raise ValueError("arrival rates must be >= 0")
-    service = np.broadcast_to(
-        np.asarray(service_rates, dtype=np.float64), (e, m)
-    ).copy()
-    if service.min(initial=np.inf) <= 0:
-        raise ValueError("service rates must be > 0")
-    if delta_t <= 0:
-        raise ValueError(f"delta_t must be > 0, got {delta_t}")
 
     total_rate = arrival + service
     num_events = rng.poisson(total_rate * delta_t)

@@ -88,6 +88,7 @@ def run_scenario(
     workers: int = 1,
     seed: int = 0,
     store: "ExperimentStore | None" = None,
+    sim_backend: str = "numpy",
 ) -> ScenarioSweepResult:
     """Evaluate one registered scenario over its delay grid.
 
@@ -108,6 +109,10 @@ def run_scenario(
         Optional content-addressed shard cache (see :mod:`repro.store`):
         cells already computed by a previous run — or by an overlapping
         figure sweep — are merged from the store instead of simulated.
+    sim_backend:
+        Epoch kernel for every cell (``"numpy"``, ``"numba"``,
+        ``"auto"``; see :mod:`repro.queueing.backends`). Contract-
+        preserving kernels never change the statistics.
 
     Raises
     ------
@@ -136,6 +141,7 @@ def run_scenario(
                     max_batch_replicas=spec.max_batch_replicas,
                     env_cls=spec.env_cls,
                     env_kwargs=env_kwargs,
+                    sim_backend=sim_backend,
                 )
             )
             cells.append((dt, policy_name))

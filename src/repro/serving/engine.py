@@ -80,8 +80,18 @@ class StreamRequest:
     env_kwargs: dict[str, Any] = field(default_factory=dict)
     max_batch_replicas: int = 64
     max_windows: int = DEFAULT_MAX_WINDOWS
+    sim_backend: str = "numpy"
 
     def __post_init__(self) -> None:
+        from repro.queueing.backends import available_backends
+
+        if self.sim_backend != "auto" and (
+            self.sim_backend not in available_backends()
+        ):
+            raise ValueError(
+                f"unknown sim_backend {self.sim_backend!r}; registered "
+                f"kernels: {available_backends()} (or 'auto')"
+            )
         if self.horizon < 1:
             raise ValueError("horizon must be >= 1 epoch")
         if self.window < 1:
@@ -261,11 +271,14 @@ def _run_stream_shard(
     so the payload reshapes without metadata. Module-level for pickling.
     """
     rng = np.random.default_rng(seed_material)
+    env_kwargs = dict(request.env_kwargs)
+    if request.sim_backend != "numpy":
+        env_kwargs.setdefault("backend", request.sim_backend)
     env = request.resolved_env_cls()(
         request.config,
         num_replicas=num_runs,
         seed=rng,
-        **request.env_kwargs,
+        **env_kwargs,
     )
     metrics = run_stream(
         env,
@@ -423,6 +436,7 @@ def run_stream_scenario(
     seed: int = 0,
     store: "ExperimentStore | None" = None,
     max_windows: int = DEFAULT_MAX_WINDOWS,
+    sim_backend: str = "numpy",
 ) -> StreamResult:
     """Stream one registered scenario at one delay.
 
@@ -447,6 +461,9 @@ def run_stream_scenario(
         suite's first policy.
     workers, seed, store :
         As in :func:`run_stream_request`.
+    sim_backend : str, optional
+        Epoch kernel (``"numpy"``, ``"numba"``, ``"auto"``; see
+        :mod:`repro.queueing.backends`).
 
     Raises
     ------
@@ -480,6 +497,7 @@ def run_stream_scenario(
         env_kwargs=spec.env_kwargs_for(config),
         max_batch_replicas=spec.max_batch_replicas,
         max_windows=max_windows,
+        sim_backend=sim_backend,
     )
     result = run_stream_request(request, workers=workers, store=store)
     result.scenario = name

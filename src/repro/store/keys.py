@@ -181,6 +181,13 @@ def shard_key(request: "EvalRequest", shard: "_Shard") -> str:
     same seed and chunk layout share their common prefix of shards —
     the property that lets overlapping figure grids reuse each other's
     work.
+
+    It also excludes the simulation kernel (``sim_backend``) whenever
+    that kernel preserves the RNG-draw contract: such kernels are
+    bit-identical by construction (conformance-tested), so shards
+    computed under NumPy are legitimately replayed for numba sweeps and
+    vice versa. A contract-breaking kernel registered by downstream code
+    gets its own key space.
     """
     payload = {
         "salt": CODE_SALT,
@@ -196,7 +203,22 @@ def shard_key(request: "EvalRequest", shard: "_Shard") -> str:
         "shard_runs": shard.num_runs,
         "shard_seeds": shard.seeds,
     }
+    _feed_sim_backend(payload, getattr(request, "sim_backend", "numpy"))
     return fingerprint(payload)
+
+
+def _feed_sim_backend(payload: dict, sim_backend: str) -> None:
+    """Key the kernel choice only when it can change the result.
+
+    Contract-preserving kernels (every built-in) share one key space;
+    a kernel whose registration declares
+    ``preserves_rng_contract=False`` produces different streams, so its
+    name becomes part of the key.
+    """
+    from repro.queueing.backends import preserves_rng_contract
+
+    if not preserves_rng_contract(sim_backend):
+        payload["sim_backend"] = sim_backend
 
 
 def stream_shard_key(
@@ -226,4 +248,5 @@ def stream_shard_key(
         "shard_runs": int(num_runs),
         "shard_seeds": (seed_material,),
     }
+    _feed_sim_backend(payload, getattr(request, "sim_backend", "numpy"))
     return fingerprint(payload)

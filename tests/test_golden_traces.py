@@ -32,6 +32,8 @@ from repro.queueing.batched_env import (
     BatchedFiniteSystemEnv,
     run_episodes_batched,
 )
+from repro.queueing.delayed_env import BatchedDelayedFiniteEnv
+from repro.queueing.delays import IIDDelay
 from repro.queueing.graph_env import BatchedGraphFiniteEnv
 from repro.queueing.heterogeneous import (
     BatchedHeterogeneousFiniteEnv,
@@ -100,6 +102,28 @@ def _build_graph_trace() -> dict:
     return _trace_payload(env, JoinShortestQueuePolicy(6, 2))
 
 
+def _build_compiled_backend_trace() -> dict:
+    """Delayed family under the compiled kernel.
+
+    On hosts without numba the registry falls back to the NumPy kernel
+    with identical streams, so this reference is valid either way; the
+    CI numba leg runs the same builder under real JIT and must match it
+    bit for bit.
+    """
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        env = BatchedDelayedFiniteEnv(
+            _CONFIG,
+            num_replicas=2,
+            delay_model=IIDDelay((0.5, 0.3, 0.2)),
+            seed=_SEED,
+            backend="numba",
+        )
+    return _trace_payload(env, JoinShortestQueuePolicy(6, 2))
+
+
 def _build_sweep_means() -> dict:
     """Merged sweep means for one scenario per family (tiny grids)."""
     payload = {}
@@ -122,6 +146,7 @@ _BUILDERS = {
     "paper_family_trace.json": _build_paper_trace,
     "heterogeneous_family_trace.json": _build_heterogeneous_trace,
     "graph_family_trace.json": _build_graph_trace,
+    "compiled_backend_trace.json": _build_compiled_backend_trace,
     "sweep_means.json": _build_sweep_means,
 }
 
@@ -146,6 +171,29 @@ def test_golden_trace_exact(filename):
         "stream or merge layout changed. If intentional, regenerate with "
         "GOLDEN_REGEN=1 and commit the new trace."
     )
+
+
+def test_numba_fallback_reproduces_numpy_golden_stream():
+    """With numba absent (or the numba kernel's RNG contract intact) a
+    ``backend="numba"`` dense environment must reproduce the committed
+    *NumPy* reference exactly — the fallback is stream-identical, not
+    merely statistically close."""
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        env = BatchedFiniteSystemEnv(
+            _CONFIG,
+            num_replicas=2,
+            per_packet_randomization=True,
+            seed=_SEED,
+            backend="numba",
+        )
+    actual = _trace_payload(env, JoinShortestQueuePolicy(6, 2))
+    expected = json.loads(
+        (GOLDEN_DIR / "paper_family_trace.json").read_text()
+    )
+    assert actual == expected
 
 
 def test_golden_traces_are_nontrivial():

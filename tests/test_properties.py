@@ -356,3 +356,136 @@ def test_chunk_boundary_merge_is_deterministic(params, num_runs, boundary):
     # boundaries actually cross process boundaries here.
     pooled = SweepExecutor(workers=2).run_drops([request])[0]
     assert np.array_equal(first, pooled)
+
+
+@given(params=BATCH_CONFIGS, num_replicas=st.integers(1, 3))
+@settings(max_examples=20, deadline=None)
+def test_numba_backend_bit_identical_to_numpy(params, num_replicas):
+    """The compiled epoch kernel preserves the RNG-draw contract, so a
+    ``backend="numba"`` environment is bit-identical to the NumPy
+    reference for any config — natively under JIT where numba is
+    installed, via the stream-preserving fallback elsewhere."""
+    import warnings
+
+    from repro.policies.static import JoinShortestQueuePolicy
+    from repro.queueing.batched_env import (
+        BatchedFiniteSystemEnv,
+        run_episodes_batched,
+    )
+
+    config = _batch_config(params)
+    policy = JoinShortestQueuePolicy(config.num_queue_states, config.d)
+    results = {}
+    for backend in ("numpy", "numba"):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            env = BatchedFiniteSystemEnv(
+                config,
+                num_replicas=num_replicas,
+                per_packet_randomization=params["per_packet"],
+                seed=params["seed"],
+                backend=backend,
+            )
+        results[backend] = (
+            run_episodes_batched(env, policy, num_epochs=5, seed=params["seed"]),
+            env.queue_states,
+            env.lam_modes,
+        )
+    a, b = results["numpy"], results["numba"]
+    assert np.array_equal(a[0].per_epoch_drops, b[0].per_epoch_drops)
+    assert np.array_equal(a[1], b[1])
+    assert np.array_equal(a[2], b[2])
+
+
+@given(params=BATCH_CONFIGS, num_clients=st.integers(1, 80))
+@settings(max_examples=30, deadline=None)
+def test_numba_loops_match_numpy_kernel_bitwise(params, num_clients):
+    """The numba loop *algorithms* (executed as plain Python without
+    numba — exact same arithmetic) replicate the reference kernel's
+    choose and serve stages bit-for-bit on randomized inputs."""
+    from repro.policies.static import JoinShortestQueuePolicy
+    from repro.queueing.backends import draw_uniform_queue_samples
+    from repro.queueing.backends.numba_backend import NumbaEpochKernel
+    from repro.queueing.backends.numpy_backend import NumpyEpochKernel
+    from repro.queueing.clients import stack_rules
+
+    config = _batch_config(params)
+    reference = NumpyEpochKernel()
+    candidate = NumbaEpochKernel(require_numba=False)
+    rng = np.random.default_rng(params["seed"])
+    e, m = 2, config.num_queues
+    observed = rng.integers(0, config.num_queue_states, size=(e, m))
+    policy = JoinShortestQueuePolicy(config.num_queue_states, config.d)
+    rule = policy.decision_rule(
+        np.full(config.num_queue_states, 1.0 / config.num_queue_states),
+        0,
+        rng,
+    )
+    probs = stack_rules(rule, e)
+    sampled = draw_uniform_queue_samples(rng, e, num_clients, config.d, m)
+    np.testing.assert_array_equal(
+        reference.committed_counts(
+            observed, sampled, probs, np.random.default_rng(params["seed"])
+        ),
+        candidate.committed_counts(
+            observed, sampled, probs, np.random.default_rng(params["seed"])
+        ),
+    )
+    np.testing.assert_array_equal(
+        reference.packet_fractions(observed, sampled, probs, num_clients),
+        candidate.packet_fractions(observed, sampled, probs, num_clients),
+    )
+    states = rng.integers(0, config.buffer_size + 1, size=(e, m))
+    arrival = rng.uniform(0.0, 4.0, size=(e, m))
+    service = rng.uniform(0.3, 2.5, size=m)
+    sa, da = reference.serve_epoch(
+        states, arrival, service, params["delta_t"], config.buffer_size,
+        np.random.default_rng(params["seed"] + 1),
+    )
+    sb, db = candidate.serve_epoch(
+        states, arrival, service, params["delta_t"], config.buffer_size,
+        np.random.default_rng(params["seed"] + 1),
+    )
+    np.testing.assert_array_equal(sa, sb)
+    np.testing.assert_array_equal(da, db)
+
+
+@given(
+    params=BATCH_CONFIGS,
+    num_runs=st.integers(2, 5),
+    boundary=st.sampled_from(["one", "runs_minus_one"]),
+)
+@settings(max_examples=6, deadline=None)
+def test_chunk_merge_determinism_with_compiled_backend(
+    params, num_runs, boundary
+):
+    """Chunk-boundary merges through SweepExecutor stay bit-identical
+    when the shards simulate under the compiled kernel: workers=1,
+    workers=2 and the NumPy-kernel sweep all agree."""
+    import warnings
+
+    from repro.experiments.parallel import EvalRequest, SweepExecutor
+    from repro.policies.static import JoinShortestQueuePolicy
+
+    config = _batch_config(params)
+    chunk = {"one": 1, "runs_minus_one": max(1, num_runs - 1)}[boundary]
+
+    def request(sim_backend):
+        return EvalRequest(
+            config=config,
+            policy=JoinShortestQueuePolicy(config.num_queue_states, config.d),
+            num_runs=num_runs,
+            num_epochs=3,
+            seed=params["seed"],
+            max_batch_replicas=chunk,
+            env_kwargs={"per_packet_randomization": params["per_packet"]},
+            sim_backend=sim_backend,
+        )
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        compiled = SweepExecutor(workers=1).run_drops([request("numba")])[0]
+        pooled = SweepExecutor(workers=2).run_drops([request("numba")])[0]
+    reference = SweepExecutor(workers=1).run_drops([request("numpy")])[0]
+    assert np.array_equal(compiled, reference)
+    assert np.array_equal(pooled, reference)

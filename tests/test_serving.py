@@ -66,8 +66,16 @@ class TestP2Quantile:
         sketch.extend(data)
         exact = float(np.quantile(data, p))
         spread = float(data.max() - data.min())
-        # P² error tolerance: a few percent of the sample range.
-        assert abs(sketch.value - exact) <= 0.05 * spread + 1e-9
+        # P² has small *rank* error; the value error that buys depends on
+        # the local density, so allow the wider of a few percent of the
+        # sample range and the ±2%-rank quantile band around p (thin
+        # tails — e.g. p = 0.99 on an exponential — are legitimately
+        # loose in value space).
+        band = float(
+            np.quantile(data, min(p + 0.02, 1.0))
+            - np.quantile(data, max(p - 0.02, 0.0))
+        )
+        assert abs(sketch.value - exact) <= max(0.05 * spread, band) + 1e-9
 
     def test_small_samples_are_exact(self):
         sketch = P2Quantile(0.5)
