@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""Closed-loop control: hook overhead and regret-vs-oracle acceptance.
+
+Two properties of :mod:`repro.serving.control` are checked and timed:
+
+* **bounded hook overhead** — driving a stream through the full
+  controller machinery with the always-``KEEP``
+  :class:`~repro.serving.control.StaticController` must stay within
+  1.3× of the uncontrolled loop's wall clock (the control path is a
+  handful of float accumulations per epoch), and its merged metrics
+  must be **bit-identical** to ``controller=None`` — the redesign's
+  safety net.
+* **regret band** — on both ``adaptive-*`` scenarios the
+  :class:`~repro.serving.control.RateEstimatingController` (the
+  CI-hysteresis estimator of arXiv:2012.10142), which sees only
+  delayed windowed counts, must keep its regret vs the clairvoyant
+  oracle at or below 50% of the *best static* policy's regret
+  (:mod:`repro.serving.regret`): a selector that learns the regime
+  from noisy observations has to recover most of what clairvoyance
+  offers over the best fixed choice.
+
+A machine-readable summary lands in ``BENCH_adaptive_control.json``
+(CI uploads it as an artifact per commit). ``--quick`` shrinks the
+grid for the CI smoke test and skips the regret-band assertion (the
+band is a statement about the registered scenario scale).
+
+Runs standalone or under pytest-benchmark:
+
+    PYTHONPATH=src python benchmarks/bench_adaptive_control.py [--quick]
+    PYTHONPATH=src python -m pytest benchmarks/bench_adaptive_control.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.scenarios.registry import get_scenario
+from repro.serving.control import StaticController
+from repro.serving.engine import run_stream
+from repro.serving.regret import evaluate_regret
+from repro.utils.tables import format_table
+
+DEFAULT_JSON = Path("BENCH_adaptive_control.json")
+#: Controlled (StaticController) wall clock must stay within this
+#: factor of the uncontrolled loop.
+MAX_HOOK_OVERHEAD = 1.3
+#: Estimator regret / best-static regret, per adaptive scenario.
+MAX_REGRET_RATIO = 0.5
+#: (scenario, full-mode horizon): the diurnal cycle needs three periods,
+#: the flash crowd one spike + drain.
+REGRET_HORIZONS = (("adaptive-diurnal", 360), ("adaptive-flash-crowd", 120))
+
+
+def _hook_overhead(quick: bool, seed: int) -> dict:
+    """Time the StaticController hook against the uncontrolled loop."""
+    from repro.queueing.batched_env import BatchedFiniteSystemEnv
+
+    spec = get_scenario("adaptive-flash-crowd")
+    num_queues = 20 if quick else 50
+    num_replicas = 2 if quick else 4
+    horizon = 80 if quick else 240
+    config = spec.config_for(spec.delta_ts[0], num_queues=num_queues)
+    suite = spec.build_policies(config)
+    policy = suite["JSQ(2)"]
+
+    def make_env():
+        return BatchedFiniteSystemEnv(
+            config,
+            num_replicas=num_replicas,
+            seed=seed,
+            **spec.env_kwargs_for(config),
+        )
+
+    # Interleaved best-of-N: both variants simulate the identical
+    # stream, so per-variant minima give a noise-robust ratio.
+    repeats = 2 if quick else 3
+    t_plain = t_hooked = float("inf")
+    plain = hooked = None
+    for _ in range(repeats):
+        env = make_env()
+        start = time.perf_counter()
+        plain = run_stream(env, policy, horizon, window=8, seed=seed)
+        t_plain = min(t_plain, time.perf_counter() - start)
+
+        env = make_env()
+        start = time.perf_counter()
+        hooked = run_stream(
+            env,
+            policy,
+            horizon,
+            window=8,
+            seed=seed,
+            controller=StaticController(),
+            policies=suite,
+        )
+        t_hooked = min(t_hooked, time.perf_counter() - start)
+
+    bit_identical = bool(
+        np.array_equal(plain.summaries(), hooked.summaries())
+        and np.array_equal(plain.windows.rows(), hooked.windows.rows())
+    )
+    overhead = t_hooked / max(t_plain, 1e-9)
+    return {
+        "num_queues": num_queues,
+        "num_replicas": num_replicas,
+        "horizon": horizon,
+        "uncontrolled_wall_clock_s": round(t_plain, 4),
+        "controlled_wall_clock_s": round(t_hooked, 4),
+        "hook_overhead": round(overhead, 3),
+        "static_bit_identical": bit_identical,
+    }
+
+
+def _regret_band(quick: bool, seed: int) -> list[dict]:
+    """Regret of every contestant on both adaptive scenarios."""
+    results = []
+    for name, horizon in REGRET_HORIZONS:
+        kwargs = {}
+        if quick:
+            horizon = horizon // 3
+            kwargs = {"num_queues": 20, "num_replicas": 2}
+        report = evaluate_regret(name, horizon, seed=seed, **kwargs)
+        print(report.format_table())
+        print()
+        rate_regret = report.regret("rate")
+        best_static = report.best_static_regret
+        ratio = rate_regret / best_static if best_static > 0 else float("inf")
+        results.append(
+            {
+                "scenario": name,
+                "horizon": report.horizon,
+                "num_queues": report.num_queues,
+                "num_replicas": report.num_replicas,
+                "oracle_drops": round(report.oracle_drops, 4),
+                "rate_regret": round(rate_regret, 4),
+                "static_regret": round(report.regret("static"), 4),
+                "best_static_regret": round(best_static, 4),
+                "regret_ratio": round(ratio, 4),
+            }
+        )
+    return results
+
+
+def run_bench(
+    quick: bool = False, seed: int = 0, json_path: Path | None = DEFAULT_JSON
+) -> dict:
+    hook = _hook_overhead(quick, seed)
+    regret = _regret_band(quick, seed)
+
+    rows = [
+        [
+            r["scenario"],
+            str(r["horizon"]),
+            f"{r['rate_regret']:.4g}",
+            f"{r['best_static_regret']:.4g}",
+            f"{r['regret_ratio']:.3f}",
+        ]
+        for r in regret
+    ]
+    print(
+        format_table(
+            ["scenario", "horizon", "rate regret", "best static", "ratio"],
+            rows,
+            title=(
+                "Closed-loop regret vs oracle "
+                f"(acceptance: ratio <= {MAX_REGRET_RATIO:g})"
+            ),
+        )
+    )
+    print(
+        f"\nhook overhead (StaticController vs none): "
+        f"{hook['hook_overhead']:.2f}x "
+        f"(bit-identical={hook['static_bit_identical']})"
+    )
+
+    stats = {
+        "benchmark": "adaptive_control",
+        "mode": "quick" if quick else "full",
+        "seed": seed,
+        "hook": hook,
+        "regret": regret,
+        "max_hook_overhead": MAX_HOOK_OVERHEAD,
+        "max_regret_ratio": MAX_REGRET_RATIO,
+    }
+    if json_path is not None:
+        json_path.write_text(json.dumps(stats, indent=2) + "\n")
+        print(f"[json written to {json_path}]")
+
+    assert hook["static_bit_identical"], (
+        "StaticController stream diverged from the uncontrolled loop: "
+        "the hook machinery must not perturb the random streams"
+    )
+    if not quick:
+        assert hook["hook_overhead"] <= MAX_HOOK_OVERHEAD, (
+            f"controller hook costs {hook['hook_overhead']:.2f}x "
+            f"(expected <= {MAX_HOOK_OVERHEAD}x: the control path is a "
+            "few float accumulations per epoch)"
+        )
+        for r in regret:
+            assert r["regret_ratio"] <= MAX_REGRET_RATIO, (
+                f"{r['scenario']}: estimator regret {r['rate_regret']:.4g} "
+                f"is {r['regret_ratio']:.2f}x the best static's "
+                f"{r['best_static_regret']:.4g} "
+                f"(acceptance: <= {MAX_REGRET_RATIO}x)"
+            )
+    return stats
+
+
+def test_adaptive_control(benchmark, results_dir):
+    """pytest-benchmark entry point (full run)."""
+    from conftest import run_once
+
+    stats = run_once(benchmark, run_bench, quick=False)
+    assert stats["hook"]["static_bit_identical"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small grid for CI smoke (skips the regret-band assertion)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", type=Path, default=DEFAULT_JSON)
+    args = parser.parse_args(argv)
+    run_bench(quick=args.quick, seed=args.seed, json_path=args.json)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -197,6 +197,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--queues", type=_positive_int, default=None,
         help="override M (N follows the scenario's client rule)",
     )
+    pstream.add_argument(
+        "--controller", default=None, metavar="NAME",
+        help="closed-loop controller from the scenario's registered "
+        "suite (e.g. 'rate', 'oracle', 'static'; see docs/serving.md); "
+        "default: uncontrolled",
+    )
+    pstream.add_argument(
+        "--max-windows", type=_positive_int, default=None,
+        help="retained operator-series rows (older windows are merged "
+        "pairwise; default: 512)",
+    )
     pstream.add_argument("--seed", type=int, default=0)
     pstream.add_argument(
         "--csv", type=Path, default=None,
@@ -288,6 +299,17 @@ def _open_store(args):
     return ExperimentStore(args.store_dir)
 
 
+def _execution_context(args):
+    """Bundle the sweep flags into one ExecutionContext."""
+    from repro.execution import ExecutionContext
+
+    return ExecutionContext(
+        workers=getattr(args, "workers", 1),
+        store=_open_store(args),
+        sim_backend=getattr(args, "sim_backend", "numpy"),
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -309,9 +331,7 @@ def main(argv: list[str] | None = None) -> int:
             m_grid=args.m_grid,
             num_runs=args.runs,
             seed=args.seed,
-            workers=args.workers,
-            store=_open_store(args),
-            sim_backend=args.sim_backend,
+            context=_execution_context(args),
         )
         _emit(result.format_table(), result, args.csv)
     elif args.command == "fig5":
@@ -320,9 +340,7 @@ def main(argv: list[str] | None = None) -> int:
             delta_ts=args.delta_ts,
             num_runs=args.runs,
             seed=args.seed,
-            workers=args.workers,
-            store=_open_store(args),
-            sim_backend=args.sim_backend,
+            context=_execution_context(args),
         )
         _emit(result.format_table(), result, args.csv)
     elif args.command == "fig6":
@@ -331,9 +349,7 @@ def main(argv: list[str] | None = None) -> int:
             delta_ts=args.delta_ts,
             num_runs=args.runs,
             seed=args.seed,
-            workers=args.workers,
-            store=_open_store(args),
-            sim_backend=args.sim_backend,
+            context=_execution_context(args),
         )
         _emit(result.format_table(), result, args.csv)
     elif args.command == "scenario":
@@ -375,10 +391,8 @@ def main(argv: list[str] | None = None) -> int:
                     delta_ts=args.delta_ts,
                     num_queues=args.queues,
                     num_runs=args.runs,
-                    workers=args.workers,
                     seed=args.seed,
-                    store=_open_store(args),
-                    sim_backend=args.sim_backend,
+                    context=_execution_context(args),
                 )
             except KeyError as exc:
                 # Unknown scenario: a usage error, not a traceback. The
@@ -404,10 +418,14 @@ def main(argv: list[str] | None = None) -> int:
                 num_queues=args.queues,
                 num_replicas=args.replicas,
                 policy=args.policy,
-                workers=args.workers,
+                controller=args.controller,
                 seed=args.seed,
-                store=_open_store(args),
-                sim_backend=args.sim_backend,
+                context=_execution_context(args),
+                **(
+                    {"max_windows": args.max_windows}
+                    if args.max_windows is not None
+                    else {}
+                ),
             )
         except KeyError as exc:
             # Unknown scenario or policy: a usage error, not a traceback.

@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.config import paper_system_config
+from repro.execution import resolve_execution_context
 from repro.experiments.pretrained import get_mf_policy
 from repro.experiments.runner import MonteCarloResult
 from repro.meanfield.mfc_env import MeanFieldEnv
@@ -24,6 +25,7 @@ from repro.rl.evaluation import evaluate_policy_mfc
 from repro.utils.tables import format_table, series_to_csv
 
 if TYPE_CHECKING:
+    from repro.execution import ExecutionContext
     from repro.policies.base import UpperLevelPolicy
     from repro.store.store import ExperimentStore
 
@@ -89,23 +91,32 @@ def run_fig4(
     clients_of_m=None,
     mf_eval_episodes: int = 50,
     seed: int = 0,
-    workers: int = 1,
+    workers: int | None = None,
     store: "ExperimentStore | None" = None,
-    sim_backend: str = "numpy",
+    sim_backend: str | None = None,
+    context: "ExecutionContext | None" = None,
 ) -> Fig4Result:
     """Regenerate one Figure 4 panel (scaled grid by default).
 
     ``clients_of_m`` maps ``M`` to ``N`` and defaults to the paper's
-    ``N = M²``. ``workers > 1`` shards the whole ``M``-grid (all replica
+    ``N = M²``. ``context`` (an
+    :class:`repro.execution.ExecutionContext`) carries the execution
+    knobs: ``workers > 1`` shards the whole ``M``-grid (all replica
     chunks of all sweep points) across one process pool, bit-identical
     to the in-process sweep; the mean-field reference value is cheap and
     stays in-process either way. ``store`` attaches a content-addressed
     shard cache (see :mod:`repro.store`) so repeated or overlapping
     panel runs skip already-computed replica chunks. ``sim_backend``
     picks the epoch kernel (``"numpy"``, ``"numba"``, ``"auto"``; see
-    :mod:`repro.queueing.backends`) without changing any statistic.
+    :mod:`repro.queueing.backends`) without changing any statistic. The
+    individual ``workers``/``store``/``sim_backend`` keywords keep
+    working for one release behind a :class:`DeprecationWarning`.
     """
     from repro.experiments.parallel import EvalRequest, SweepExecutor
+
+    ctx = resolve_execution_context(
+        context, workers=workers, store=store, sim_backend=sim_backend
+    )
 
     if clients_of_m is None:
         clients_of_m = lambda m: m * m  # noqa: E731 - tiny local default
@@ -129,13 +140,11 @@ def run_fig4(
                 num_runs=num_runs,
                 num_epochs=num_epochs,
                 seed=seed,
-                sim_backend=sim_backend,
+                sim_backend=ctx.sim_backend,
             )
         )
         n_values.append(n)
-    results: list[MonteCarloResult] = SweepExecutor(
-        workers=workers, store=store
-    ).run(requests)
+    results: list[MonteCarloResult] = SweepExecutor(context=ctx).run(requests)
 
     # Mean-field reference (the red dotted line): expected cumulative
     # drops of the same policy in the limiting MDP over the same horizon.

@@ -17,11 +17,13 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.config import paper_system_config
+from repro.execution import resolve_execution_context
 from repro.experiments.pretrained import get_mf_policy
 from repro.experiments.runner import MonteCarloResult, policy_suite
 from repro.utils.tables import format_table, series_to_csv
 
 if TYPE_CHECKING:
+    from repro.execution import ExecutionContext
     from repro.policies.base import UpperLevelPolicy
     from repro.store.store import ExperimentStore
 
@@ -90,9 +92,10 @@ def run_fig5(
     mf_policies: "dict[float, UpperLevelPolicy] | None" = None,
     per_packet_randomization: bool = True,
     seed: int = 0,
-    workers: int = 1,
+    workers: int | None = None,
     store: "ExperimentStore | None" = None,
-    sim_backend: str = "numpy",
+    sim_backend: str | None = None,
+    context: "ExecutionContext | None" = None,
 ) -> Fig5Result:
     """Regenerate one Figure 5 panel (scaled grid by default).
 
@@ -112,9 +115,16 @@ def run_fig5(
     cells with this grid — are merged from the store instead of
     simulated. ``sim_backend`` picks the epoch kernel (``"numpy"``,
     ``"numba"``, ``"auto"``) without changing any statistic.
+
+    Prefer ``context=ExecutionContext(...)`` for those knobs; the
+    individual keywords keep working for one release behind a
+    :class:`DeprecationWarning`.
     """
     from repro.experiments.parallel import EvalRequest, SweepExecutor
 
+    ctx = resolve_execution_context(
+        context, workers=workers, store=store, sim_backend=sim_backend
+    )
     if clients_of_m is None:
         clients_of_m = lambda m: m * m  # noqa: E731
         clients_rule = "M^2"
@@ -147,15 +157,13 @@ def run_fig5(
                     env_kwargs={
                         "per_packet_randomization": per_packet_randomization
                     },
-                    sim_backend=sim_backend,
+                    sim_backend=ctx.sim_backend,
                 )
             )
             cells.append(name)
 
     results: dict[str, list[MonteCarloResult]] = {}
-    for name, res in zip(
-        cells, SweepExecutor(workers=workers, store=store).run(requests)
-    ):
+    for name, res in zip(cells, SweepExecutor(context=ctx).run(requests)):
         results.setdefault(name, []).append(res)
     return Fig5Result(
         num_queues=num_queues,

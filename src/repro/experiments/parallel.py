@@ -60,6 +60,7 @@ from repro.utils.stats import mean_confidence_interval
 if TYPE_CHECKING:
     from multiprocessing.context import BaseContext
 
+    from repro.execution import ExecutionContext
     from repro.experiments.runner import MonteCarloResult
     from repro.policies.base import UpperLevelPolicy
     from repro.store.store import ExperimentStore
@@ -265,6 +266,14 @@ class SweepExecutor:
         shards. Cached and fresh shards merge bit-identically to a cold
         run because a shard's streams are a pure function of its key
         inputs.
+    context:
+        Optional :class:`repro.execution.ExecutionContext` carrying
+        ``workers`` and ``store`` in one bundle. Mutually exclusive with
+        passing those two individually (``TypeError``); the executor is
+        the low-level machinery, so its own keywords stay supported —
+        only the *mixing* of styles is rejected. The context's
+        ``sim_backend``/``max_batch_replicas`` are per-request knobs and
+        are ignored here.
     """
 
     def __init__(
@@ -272,9 +281,18 @@ class SweepExecutor:
         workers: int | None = None,
         mp_context: "BaseContext | str | None" = None,
         store: "ExperimentStore | None" = None,
+        context: "ExecutionContext | None" = None,
     ) -> None:
         import os
 
+        if context is not None:
+            if workers is not None or store is not None:
+                raise TypeError(
+                    "pass workers/store either via context= or "
+                    "individually, not both"
+                )
+            workers = context.workers
+            store = context.store
         if workers is None:
             workers = os.cpu_count() or 1
         if workers < 1:

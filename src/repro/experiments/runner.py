@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.config import SystemConfig
+from repro.execution import ExecutionContext, resolve_execution_context
 from repro.utils.stats import ConfidenceInterval
 
 if TYPE_CHECKING:
@@ -58,10 +59,11 @@ def evaluate_policy_finite(
     env_cls=None,
     env_kwargs: dict | None = None,
     backend: str = "batched",
-    max_batch_replicas: int = 64,
-    workers: int = 1,
+    max_batch_replicas: int | None = None,
+    workers: int | None = None,
     store: "ExperimentStore | None" = None,
-    sim_backend: str = "numpy",
+    sim_backend: str | None = None,
+    context: ExecutionContext | None = None,
 ) -> MonteCarloResult:
     """Monte-Carlo estimate of cumulative per-queue drops (Figures 4-6).
 
@@ -90,6 +92,11 @@ def evaluate_policy_finite(
     :mod:`repro.queueing.backends` (``"numpy"``, ``"numba"`` or
     ``"auto"``) independently of the execution style; contract-
     preserving kernels leave the result bit-identical.
+
+    Prefer bundling the execution knobs into
+    ``context=ExecutionContext(...)``; the individual ``workers`` /
+    ``store`` / ``sim_backend`` / ``max_batch_replicas`` keywords keep
+    working for one release behind a :class:`DeprecationWarning`.
     """
     # Lazy import: parallel builds on this module's result type. The
     # replica-chunk layout, SeedSequence spawning and both execution
@@ -99,6 +106,13 @@ def evaluate_policy_finite(
     # drift could silently break the bit-identity guarantee.
     from repro.experiments.parallel import EvalRequest, SweepExecutor
 
+    ctx = resolve_execution_context(
+        context,
+        workers=workers,
+        store=store,
+        sim_backend=sim_backend,
+        max_batch_replicas=max_batch_replicas,
+    )
     request = EvalRequest(
         config=config,
         policy=policy,
@@ -106,12 +120,12 @@ def evaluate_policy_finite(
         num_epochs=num_epochs,
         seed=seed,
         backend=backend,
-        max_batch_replicas=max_batch_replicas,
+        max_batch_replicas=ctx.resolved_max_batch_replicas(),
         env_cls=env_cls,
         env_kwargs=env_kwargs or {},
-        sim_backend=sim_backend,
+        sim_backend=ctx.sim_backend,
     )
-    return SweepExecutor(workers=workers, store=store).run([request])[0]
+    return SweepExecutor(workers=ctx.workers, store=ctx.store).run([request])[0]
 
 
 def policy_suite(

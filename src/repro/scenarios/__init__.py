@@ -3,9 +3,11 @@
 Importing this package registers the built-in catalogue — the dense
 workloads ``paper-baseline``, ``heterogeneous-sed``, ``bursty-mmpp``
 and ``overload``, the sparse-topology workloads ``ring-local``,
-``torus-local``, ``random-regular`` and ``sparse-heterogeneous``, and
-the streaming workloads ``diurnal-stream``, ``flash-crowd`` and
-``stochastic-delay`` (see :mod:`repro.scenarios.builtin`).
+``torus-local``, ``random-regular`` and ``sparse-heterogeneous``, the
+streaming workloads ``diurnal-stream``, ``flash-crowd`` and
+``stochastic-delay``, and the closed-loop control workloads
+``adaptive-diurnal`` and ``adaptive-flash-crowd`` (see
+:mod:`repro.scenarios.builtin`).
 :func:`run_scenario` executes any registered name through the sharded
 :class:`repro.experiments.parallel.SweepExecutor`, optionally backed by
 the content-addressed shard store (``store=``); the ``stream`` CLI

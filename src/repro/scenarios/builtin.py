@@ -1,6 +1,6 @@
 """The built-in scenario catalogue.
 
-Eleven workloads, registered on import:
+Thirteen workloads, registered on import:
 
 * ``paper-baseline`` — the paper's own Figure-5 setting: homogeneous
   servers, two-level Markov-modulated arrivals, MF vs JSQ(2) vs RND.
@@ -24,6 +24,13 @@ Eleven workloads, registered on import:
   cycle; baseline traffic with a transiently overloading spike), built
   for long streaming horizons (``cli stream``) but sweepable like any
   other scenario.
+* ``adaptive-diurnal`` / ``adaptive-flash-crowd`` — closed-loop control
+  workloads (:mod:`repro.serving.control`): arrival rates drift across
+  the JSQ/RND regime boundary at a delay pinned near the crossover, and
+  each scenario registers a controller suite (``rate`` — CI-hysteresis
+  estimator per arXiv:2012.10142, ``oracle`` — knows the profile,
+  ``static`` — never switches) for ``cli stream --controller`` and the
+  regret evaluation (:mod:`repro.serving.regret`).
 * ``stochastic-delay`` — per-dispatcher random observation delays: the
   monitoring plane switches between *synced* and *degraded* regimes
   (:class:`repro.queueing.delays.MarkovModulatedDelay`), generalizing
@@ -65,6 +72,16 @@ __all__ = [
     "RANDOM_REGULAR_DEGREE",
     "TOPOLOGY_SEED",
     "DIURNAL_PERIOD",
+    "ADAPTIVE_DELTA_T",
+    "ADAPTIVE_SWITCH_RATE",
+    "ADAPTIVE_DIURNAL_PERIOD",
+    "ADAPTIVE_DECISION_INTERVAL",
+    "ADAPTIVE_ESTIMATION_WINDOWS",
+    "ADAPTIVE_MIN_DWELL",
+    "ADAPTIVE_CONFIDENCE",
+    "adaptive_load_bands",
+    "adaptive_diurnal_arrival_process",
+    "adaptive_flash_crowd_arrival_process",
     "bursty_arrival_process",
     "diurnal_arrival_process",
     "flash_crowd_arrival_process",
@@ -440,6 +457,188 @@ register_scenario(
         env_cls=BatchedDelayedFiniteEnv,
         build_env_kwargs=_stochastic_delay_env_kwargs,
         tags=("streaming", "delays", "related-work"),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# Closed-loop adaptive-control scenarios (repro.serving.control)
+# ---------------------------------------------------------------------------
+#: Knobs for the ``adaptive-*`` scenarios, fixed so the names always
+#: denote the same control problem. The delay is pinned near the
+#: JSQ/RND crossover (measured empirically at Δt = 6, M = 100 the
+#: crossover load is λ* ≈ 1.2): below ``ADAPTIVE_SWITCH_RATE`` the
+#: sampled-shortest-queue policy wins, above it herd behaviour under
+#: stale observations makes uniform routing the better choice — so a
+#: controller that tracks the drifting rate has something real to gain,
+#: while misclassification *at* the boundary is second-order (the
+#: policies are near-tied there).
+ADAPTIVE_DELTA_T = 6.0  # the scenarios' single synchronization delay
+ADAPTIVE_SWITCH_RATE = 1.15  # JSQ below, RND above (per-queue λ)
+ADAPTIVE_DIURNAL_PERIOD = 120  # epochs per simulated "day"
+#: The cycle is centered *on* the crossover (envelope 0.85 .. 1.45):
+#: drops occur in both half-cycles, so each static policy pays a real
+#: price in the half it is wrong about — regimes where the system is
+#: nearly idle would make every policy trivially near-optimal.
+ADAPTIVE_DIURNAL_MEAN = 1.15
+ADAPTIVE_DIURNAL_AMPLITUDE = 0.30
+ADAPTIVE_FLASH_BASE = 0.6
+ADAPTIVE_FLASH_PEAK = 1.6
+ADAPTIVE_FLASH_SPIKE_TIME = 120.0  # ramp start, in time units
+ADAPTIVE_FLASH_RAMP_TIME = 12.0  # ramp duration, in time units
+ADAPTIVE_FLASH_DECAY_PER_TIME = 0.995  # slow drain: ~20 epochs overloaded
+#: Rate-estimator hysteresis (arXiv:2012.10142): decide every 2 epochs,
+#: pool the last 3 decision windows, require 2 decisions of dwell and a
+#: 95% CI fully inside the target band before switching.
+ADAPTIVE_DECISION_INTERVAL = 2
+ADAPTIVE_ESTIMATION_WINDOWS = 3
+ADAPTIVE_MIN_DWELL = 2
+ADAPTIVE_CONFIDENCE = 1.96
+
+
+def adaptive_load_bands(config: SystemConfig):
+    """The scenarios' band table: JSQ(d) under the crossover, RND above."""
+    import math
+
+    from repro.serving.control import LoadBand
+
+    return (
+        LoadBand(f"JSQ({config.d})", 0.0, ADAPTIVE_SWITCH_RATE),
+        LoadBand("RND", ADAPTIVE_SWITCH_RATE, math.inf),
+    )
+
+
+def adaptive_diurnal_arrival_process() -> DiurnalRate:
+    """Day/night cycle crossing the JSQ/RND boundary twice per period."""
+    return DiurnalRate(
+        mean=ADAPTIVE_DIURNAL_MEAN,
+        amplitude=ADAPTIVE_DIURNAL_AMPLITUDE,
+        period=ADAPTIVE_DIURNAL_PERIOD,
+    )
+
+
+def adaptive_flash_crowd_arrival_process(
+    delta_t: float = ADAPTIVE_DELTA_T,
+) -> FlashCrowdRate:
+    """Quiet JSQ-regime baseline with one slow-draining RND-regime spike."""
+    if delta_t <= 0:
+        raise ValueError(f"delta_t must be > 0, got {delta_t}")
+    return FlashCrowdRate(
+        base_rate=ADAPTIVE_FLASH_BASE,
+        peak_rate=ADAPTIVE_FLASH_PEAK,
+        spike_epoch=max(1, round(ADAPTIVE_FLASH_SPIKE_TIME / delta_t)),
+        ramp_epochs=max(1, round(ADAPTIVE_FLASH_RAMP_TIME / delta_t)),
+        decay=ADAPTIVE_FLASH_DECAY_PER_TIME**delta_t,
+    )
+
+
+def _adaptive_policies(config: SystemConfig) -> "dict[str, UpperLevelPolicy]":
+    """JSQ(d) and RND only — exactly the band table's selectable regime
+    policies, so 'best static' in the regret evaluation means the best
+    fixed choice a controller could have frozen."""
+    from repro.experiments.runner import policy_suite
+
+    return policy_suite(config)
+
+
+def _adaptive_diurnal_env_kwargs(config: SystemConfig) -> dict[str, object]:
+    return {
+        "arrival_process": adaptive_diurnal_arrival_process(),
+        "per_packet_randomization": True,
+    }
+
+
+def _adaptive_flash_env_kwargs(config: SystemConfig) -> dict[str, object]:
+    return {
+        "arrival_process": adaptive_flash_crowd_arrival_process(
+            config.delta_t
+        ),
+        "per_packet_randomization": True,
+    }
+
+
+def _adaptive_controllers(config: SystemConfig, profile):
+    """The shared {rate, oracle, static} controller suite."""
+    from repro.serving.control import (
+        OracleController,
+        RateEstimatingController,
+        StaticController,
+    )
+
+    bands = adaptive_load_bands(config)
+    return {
+        "rate": RateEstimatingController(
+            bands,
+            confidence=ADAPTIVE_CONFIDENCE,
+            estimation_windows=ADAPTIVE_ESTIMATION_WINDOWS,
+            min_dwell=ADAPTIVE_MIN_DWELL,
+            decision_interval=ADAPTIVE_DECISION_INTERVAL,
+        ),
+        "oracle": OracleController(
+            profile, bands, decision_interval=ADAPTIVE_DECISION_INTERVAL
+        ),
+        "static": StaticController(),
+    }
+
+
+def _adaptive_diurnal_controllers(config: SystemConfig, policies):
+    return _adaptive_controllers(config, adaptive_diurnal_arrival_process())
+
+
+def _adaptive_flash_controllers(config: SystemConfig, policies):
+    return _adaptive_controllers(
+        config, adaptive_flash_crowd_arrival_process(config.delta_t)
+    )
+
+
+register_scenario(
+    ScenarioSpec(
+        name="adaptive-diurnal",
+        description=(
+            "Closed-loop control under a diurnal cycle crossing the "
+            "JSQ/RND regime boundary (rate/oracle/static controllers)"
+        ),
+        # Rate fields record the sinusoid's envelope for ρ bookkeeping;
+        # the chain is replaced by adaptive_diurnal_arrival_process()
+        # at env construction.
+        base_config=paper_system_config(num_queues=100).with_updates(
+            arrival_rate_high=(
+                ADAPTIVE_DIURNAL_MEAN + ADAPTIVE_DIURNAL_AMPLITUDE
+            ),
+            arrival_rate_low=(
+                ADAPTIVE_DIURNAL_MEAN - ADAPTIVE_DIURNAL_AMPLITUDE
+            ),
+            p_high_to_low=0.5,
+            p_low_to_high=0.5,
+            delta_t=ADAPTIVE_DELTA_T,
+        ),
+        delta_ts=(ADAPTIVE_DELTA_T,),
+        num_runs=5,
+        build_policies=_adaptive_policies,
+        build_env_kwargs=_adaptive_diurnal_env_kwargs,
+        build_controllers=_adaptive_diurnal_controllers,
+        tags=("streaming", "adaptive", "control"),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="adaptive-flash-crowd",
+        description=(
+            "Closed-loop control through a slow-draining flash crowd "
+            f"(rho {ADAPTIVE_FLASH_BASE:g} -> {ADAPTIVE_FLASH_PEAK:g}; "
+            "rate/oracle/static controllers)"
+        ),
+        base_config=paper_system_config(num_queues=100).with_updates(
+            arrival_rate_high=ADAPTIVE_FLASH_BASE,
+            arrival_rate_low=ADAPTIVE_FLASH_BASE,
+            delta_t=ADAPTIVE_DELTA_T,
+        ),
+        delta_ts=(ADAPTIVE_DELTA_T,),
+        num_runs=5,
+        build_policies=_adaptive_policies,
+        build_env_kwargs=_adaptive_flash_env_kwargs,
+        build_controllers=_adaptive_flash_controllers,
+        tags=("streaming", "adaptive", "control", "stress"),
     )
 )
 

@@ -25,6 +25,7 @@ from repro.config import SystemConfig
 
 if TYPE_CHECKING:
     from repro.policies.base import UpperLevelPolicy
+    from repro.serving.control import Controller
 
 __all__ = [
     "ScenarioSpec",
@@ -67,6 +68,11 @@ class ScenarioSpec:
     clients_of_m:
         ``M -> N`` rule applied when the queue count is overridden;
         defaults to the paper's ``N = M²``.
+    build_controllers:
+        Optional ``(config, policies) -> {name: controller}`` builder
+        for the scenario's closed-loop controller suite
+        (:mod:`repro.serving.control`), invoked fresh per stream;
+        ``None`` means the scenario offers no controllers.
     max_batch_replicas:
         Replica chunk size for the batched backend (also the shard
         granularity of the parallel executor).
@@ -83,6 +89,10 @@ class ScenarioSpec:
     env_cls: type | None = None
     build_env_kwargs: "Callable[[SystemConfig], dict] | None" = None
     clients_of_m: "Callable[[int], int] | None" = None
+    build_controllers: (
+        "Callable[[SystemConfig, dict[str, UpperLevelPolicy]],"
+        " dict[str, Controller]] | None"
+    ) = None
     max_batch_replicas: int = 64
     tags: tuple[str, ...] = field(default_factory=tuple)
 

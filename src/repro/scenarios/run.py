@@ -15,11 +15,13 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.execution import resolve_execution_context
 from repro.experiments.parallel import EvalRequest, SweepExecutor
 from repro.scenarios.registry import ScenarioSpec, get_scenario
 from repro.utils.tables import format_table, series_to_csv
 
 if TYPE_CHECKING:
+    from repro.execution import ExecutionContext
     from repro.experiments.runner import MonteCarloResult
     from repro.store.store import ExperimentStore
 
@@ -85,10 +87,11 @@ def run_scenario(
     delta_ts: tuple[float, ...] | None = None,
     num_queues: int | None = None,
     num_runs: int | None = None,
-    workers: int = 1,
+    workers: int | None = None,
     seed: int = 0,
     store: "ExperimentStore | None" = None,
-    sim_backend: str = "numpy",
+    sim_backend: str | None = None,
+    context: "ExecutionContext | None" = None,
 ) -> ScenarioSweepResult:
     """Evaluate one registered scenario over its delay grid.
 
@@ -100,25 +103,31 @@ def run_scenario(
     delta_ts, num_queues, num_runs:
         Grid overrides; each defaults to the spec's frozen value
         (``num_queues`` rescales ``N`` through the spec's client rule).
-    workers:
-        Process count of the shared :class:`SweepExecutor` (``1`` =
-        in-process); never changes the merged statistics.
     seed:
         Master seed of every sweep cell's replica streams.
-    store:
-        Optional content-addressed shard cache (see :mod:`repro.store`):
-        cells already computed by a previous run — or by an overlapping
-        figure sweep — are merged from the store instead of simulated.
-    sim_backend:
-        Epoch kernel for every cell (``"numpy"``, ``"numba"``,
-        ``"auto"``; see :mod:`repro.queueing.backends`). Contract-
-        preserving kernels never change the statistics.
+    context:
+        :class:`repro.execution.ExecutionContext` with the execution
+        knobs — ``workers`` (process count of the shared
+        :class:`SweepExecutor`; never changes the merged statistics),
+        ``store`` (content-addressed shard cache, see
+        :mod:`repro.store`: cells already computed by a previous run —
+        or by an overlapping figure sweep — are merged from the store
+        instead of simulated), ``sim_backend`` (epoch kernel for every
+        cell; contract-preserving kernels never change the statistics)
+        and ``max_batch_replicas`` (defaults to the spec's registered
+        chunk size).
+    workers, store, sim_backend:
+        Deprecated individual forms of the same knobs; they keep
+        working for one release behind a :class:`DeprecationWarning`.
 
     Raises
     ------
     KeyError
         If ``name`` is not registered (the message lists the catalogue).
     """
+    ctx = resolve_execution_context(
+        context, workers=workers, store=store, sim_backend=sim_backend
+    )
     spec: ScenarioSpec = get_scenario(name)
     grid = tuple(delta_ts) if delta_ts else spec.delta_ts
     runs = int(num_runs) if num_runs is not None else spec.num_runs
@@ -138,15 +147,17 @@ def run_scenario(
                     num_epochs=config.resolved_eval_length(),
                     seed=seed,
                     backend="batched",
-                    max_batch_replicas=spec.max_batch_replicas,
+                    max_batch_replicas=ctx.resolved_max_batch_replicas(
+                        spec.max_batch_replicas
+                    ),
                     env_cls=spec.env_cls,
                     env_kwargs=env_kwargs,
-                    sim_backend=sim_backend,
+                    sim_backend=ctx.sim_backend,
                 )
             )
             cells.append((dt, policy_name))
 
-    executor = SweepExecutor(workers=workers, store=store)
+    executor = SweepExecutor(context=ctx)
     merged = executor.run(requests)
 
     results: "dict[str, list[MonteCarloResult]]" = {}

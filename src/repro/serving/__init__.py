@@ -16,9 +16,15 @@ instead of trajectories:
   :class:`repro.experiments.parallel.SweepExecutor`, experiment-store
   caching of streaming shards, and the scenario entry point behind the
   ``stream`` CLI subcommand.
+* :mod:`repro.serving.control` — the closed-loop controller hook: a
+  :class:`~repro.serving.control.Controller` observes the same delayed
+  windowed surface a dispatcher sees and may switch/blend the active
+  policy or resize the fleet mid-stream (mass-conserving handoff).
+* :mod:`repro.serving.regret` — regret-vs-oracle evaluation of
+  controlled streams on the ``adaptive-*`` scenarios.
 
 See ``docs/serving.md`` for the operator's guide (metric definitions,
-delay models, memory model).
+delay models, memory model, closed-loop control).
 """
 
 from repro.serving.metrics import (
@@ -34,6 +40,19 @@ from repro.serving.engine import (
     run_stream_request,
     run_stream_scenario,
 )
+from repro.serving.control import (
+    ControlAction,
+    ControlDecision,
+    Controller,
+    ControlObservation,
+    LoadBand,
+    OracleController,
+    RateEstimatingController,
+    ScriptedController,
+    StaticController,
+    resize_queue_fleet,
+)
+from repro.serving.regret import RegretReport, evaluate_regret
 
 __all__ = [
     "P2Quantile",
@@ -45,4 +64,16 @@ __all__ = [
     "run_stream",
     "run_stream_request",
     "run_stream_scenario",
+    "Controller",
+    "ControlAction",
+    "ControlDecision",
+    "ControlObservation",
+    "LoadBand",
+    "StaticController",
+    "RateEstimatingController",
+    "OracleController",
+    "ScriptedController",
+    "resize_queue_fleet",
+    "RegretReport",
+    "evaluate_regret",
 ]

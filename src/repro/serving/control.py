@@ -1,0 +1,770 @@
+"""Closed-loop control for streamed environments.
+
+The streaming engine (PR 5) observed but never acted: ``run_stream``
+drove one fixed policy over the whole horizon. This module redesigns
+the per-epoch loop around a small hook protocol — a
+:class:`Controller` that, every decision window, receives the same
+*delayed* observation surface the dispatchers see (windowed counts, a
+snapshot age) and returns a :class:`ControlAction`: keep, switch or
+re-weight the upper-level policy, and optionally autoscale the queue
+fleet mid-stream (:func:`resize_queue_fleet`, mass-conserving).
+
+Shipped controllers:
+
+* :class:`StaticController` — never acts; a stream driven through the
+  full hook machinery is bit-identical to the uncontrolled loop (the
+  refactor's safety net, pinned by a test).
+* :class:`RateEstimatingController` — online arrival-rate estimator
+  with confidence-interval hysteresis per Goldsztajn–Borst–van
+  Leeuwaarden, "Learning and balancing unknown loads in large-scale
+  systems" (arXiv:2012.10142): pool the last few windows, switch to
+  the policy of a different load band only once the rate's CI lies
+  entirely inside that band and a minimum dwell has elapsed.
+* :class:`OracleController` — reads the true workload profile; its
+  drops define the regret baseline (:mod:`repro.serving.regret`).
+* :class:`ScriptedController` — replays a fixed action sequence
+  (testing / what-if).
+
+Everything on the control path is deterministic and consumes **no**
+RNG draws, so controlled streams inherit the engine's worker-count
+invariance and store-cacheability unchanged: the controller's
+*constructor parameters* enter the shard key
+(:func:`repro.store.keys.stream_shard_key`) while its mutable run
+state is excluded via ``__fingerprint_exclude__`` and cleared by
+:meth:`Controller.reset` at the start of every shard.
+
+Observation semantics
+---------------------
+Epochs are counted as *completed* steps (the environment's ``info["t"]``
+clock). A decision window covers ``decision_interval`` epochs; its
+record carries replica-mean expected arrivals (jobs, fleet-wide), drops
+and backlog plus the *exposure* ``Σ M·Δt`` (autoscale-safe Poisson
+denominator). ``observation_lag`` delays delivery by whole windows, so
+a controller can be handicapped with exactly the staleness the paper's
+Fig. 5/6 dispatchers suffer. The arrival counts are the environment's
+frozen expected rates (Eq. 5) — what a dispatcher's accounting would
+expose — not per-packet realizations.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+import numpy as np
+
+from repro.meanfield.decision_rule import DecisionRule
+from repro.policies.static import ConstantRulePolicy
+from repro.queueing.batched_env import (
+    BatchedFiniteSystemEnv,
+    _BatchedQueueSystemBase,
+)
+
+if TYPE_CHECKING:
+    from repro.config import SystemConfig
+    from repro.policies.base import UpperLevelPolicy
+    from repro.queueing.workloads import ProfileRate
+    from repro.serving.metrics import StreamingMetrics
+
+__all__ = [
+    "LoadBand",
+    "ControlObservation",
+    "ControlAction",
+    "ControlDecision",
+    "KEEP",
+    "Controller",
+    "StaticController",
+    "RateEstimatingController",
+    "OracleController",
+    "ScriptedController",
+    "ControlLoop",
+    "resize_queue_fleet",
+]
+
+
+@dataclass(frozen=True)
+class LoadBand:
+    """One contiguous arrival-rate regime and the policy that owns it.
+
+    ``low <= λ < high`` selects ``policy`` (per-queue intensity). A band
+    table must tile ``[0, ∞)`` without gaps — validated by the
+    controllers that consume it.
+    """
+
+    policy: str
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not self.policy:
+            raise ValueError("band policy name must be non-empty")
+        if not 0.0 <= self.low < self.high:
+            raise ValueError(
+                f"band needs 0 <= low < high, got [{self.low}, {self.high})"
+            )
+
+    def contains(self, rate: float) -> bool:
+        return self.low <= rate < self.high
+
+
+def _normalize_bands(bands) -> tuple[LoadBand, ...]:
+    """Coerce ``(policy, low, high)`` triples and validate the tiling."""
+    table = tuple(
+        b if isinstance(b, LoadBand) else LoadBand(*b) for b in bands
+    )
+    if not table:
+        raise ValueError("need at least one load band")
+    table = tuple(sorted(table, key=lambda b: b.low))
+    if table[0].low != 0.0:
+        raise ValueError("bands must start at rate 0")
+    for prev, cur in zip(table, table[1:]):
+        if prev.high != cur.low:
+            raise ValueError(
+                f"bands must tile [0, inf) contiguously; gap between "
+                f"{prev.high} and {cur.low}"
+            )
+    if not math.isinf(table[-1].high):
+        raise ValueError("the last band must extend to infinity")
+    return table
+
+
+def _band_for(bands: tuple[LoadBand, ...], rate: float) -> LoadBand:
+    for band in bands:
+        if band.contains(rate):
+            return band
+    return bands[-1]
+
+
+@dataclass(frozen=True)
+class ControlObservation:
+    """What a controller sees at one decision point — and nothing more.
+
+    This is the dispatcher-grade surface: windowed counts closed
+    ``age`` epochs ago, never the environment's live state. ``arrivals``
+    / ``drops`` are replica means of fleet-wide totals over the window;
+    ``exposure = Σ M·Δt`` over the window's epochs is the Poisson
+    denominator that stays correct across autoscale events.
+    """
+
+    epoch: int  # epochs completed when the observed window closed
+    age: int  # decision epoch minus window-close epoch (>= 0)
+    window: int  # window width in epochs
+    delta_t: float
+    num_queues: int  # fleet size at decision time
+    num_replicas: int
+    arrivals: float  # replica-mean expected arrivals in the window
+    drops: float  # replica-mean dropped packets in the window
+    mean_queue_length: float  # replica- and epoch-mean backlog
+    exposure: float  # queue-time observed: sum of M * delta_t
+    policy: str  # active policy name at decision time
+
+    @property
+    def arrival_rate(self) -> float:
+        """Per-queue arrival intensity λ̄ observed over the window."""
+        return self.arrivals / self.exposure if self.exposure > 0 else 0.0
+
+    @property
+    def drop_rate(self) -> float:
+        """Per-queue, per-time drop rate observed over the window."""
+        return self.drops / self.exposure if self.exposure > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class ControlAction:
+    """What a controller asks the loop to do (default: nothing).
+
+    Exactly one of ``policy`` (switch) / ``weights`` (re-weight) may be
+    set; ``scale`` (add/drain ``scale`` queues) composes with either.
+    ``weights`` maps policy names to non-negative mixture weights and is
+    normalized to a sorted tuple so equal actions compare/fingerprint
+    equal.
+    """
+
+    policy: str | None = None
+    weights: tuple[tuple[str, float], ...] | None = None
+    scale: int = 0
+
+    def __post_init__(self) -> None:
+        if self.policy is not None and self.weights is not None:
+            raise ValueError("policy and weights are mutually exclusive")
+        if self.weights is not None:
+            if isinstance(self.weights, Mapping):
+                items = self.weights.items()
+            else:
+                items = tuple(self.weights)
+            norm = tuple(
+                sorted((str(k), float(v)) for k, v in items)
+            )
+            if not norm or any(w < 0 for _, w in norm):
+                raise ValueError("weights must be non-empty and >= 0")
+            if not sum(w for _, w in norm) > 0:
+                raise ValueError("weights must not all be zero")
+            object.__setattr__(self, "weights", norm)
+        if int(self.scale) != self.scale:
+            raise ValueError("scale must be an integer queue delta")
+        object.__setattr__(self, "scale", int(self.scale))
+
+    @property
+    def is_noop(self) -> bool:
+        return self.policy is None and self.weights is None and not self.scale
+
+
+#: The do-nothing action (module-level so ``decide`` can return it cheaply).
+KEEP = ControlAction()
+
+
+@dataclass(frozen=True)
+class ControlDecision:
+    """One applied decision, as recorded in ``controller.decisions``."""
+
+    epoch: int  # epochs completed when the decision was applied
+    observation: ControlObservation
+    action: ControlAction
+    policy: str  # active policy after applying the action
+    num_queues: int  # fleet size after applying the action
+    extras: dict = field(default_factory=dict)
+
+
+class Controller:
+    """Hook protocol for closed-loop control of a streamed environment.
+
+    Subclasses implement :meth:`decide`; the loop calls it once every
+    ``decision_interval`` epochs with a :class:`ControlObservation`
+    whose window closed ``observation_lag`` windows earlier. Decisions
+    must be deterministic functions of the observation stream and the
+    controller's own state — the control path consumes no RNG draws, so
+    controlled shards stay bit-identical across worker counts.
+
+    Mutable run state lives in ``decisions`` (and subclass fields named
+    in ``__fingerprint_exclude__``); :meth:`reset` clears it at the
+    start of every shard, which is what makes one controller instance
+    safe to reuse across shards and store-cacheable by construction
+    parameters alone.
+    """
+
+    #: Epochs per decision window (>= 1).
+    decision_interval: int = 1
+    #: Whole windows of staleness before an observation is delivered.
+    observation_lag: int = 0
+    #: Mutable run state excluded from the experiment-store fingerprint.
+    __fingerprint_exclude__: tuple[str, ...] = ("decisions",)
+
+    def __init__(self) -> None:
+        self.decisions: list[ControlDecision] = []
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def reset(
+        self,
+        policies: tuple[str, ...],
+        initial_policy: str,
+        config: "SystemConfig",
+    ) -> None:
+        """Clear run state before a (re-)run; subclasses extend this."""
+        self.decisions = []
+
+    def decide(self, observation: ControlObservation) -> ControlAction:
+        raise NotImplementedError
+
+    def decision_extras(self) -> dict:
+        """Diagnostics attached to the recorded decision (overridable)."""
+        return {}
+
+
+class StaticController(Controller):
+    """Never acts — the uncontrolled loop expressed as a controller.
+
+    A stream driven through the full hook machinery with this
+    controller is bit-identical to ``run_stream`` without one (pinned
+    by a test); it exists as the refactor's safety net and as the
+    natural no-op default for A/B harnesses.
+    """
+
+    def decide(self, observation: ControlObservation) -> ControlAction:
+        return KEEP
+
+
+class _BandedController(Controller):
+    """Shared band-table plumbing for the rate-driven controllers."""
+
+    def __init__(self, bands) -> None:
+        super().__init__()
+        self.bands = _normalize_bands(bands)
+
+    def band_for(self, rate: float) -> LoadBand:
+        return _band_for(self.bands, rate)
+
+    def reset(
+        self,
+        policies: tuple[str, ...],
+        initial_policy: str,
+        config: "SystemConfig",
+    ) -> None:
+        super().reset(policies, initial_policy, config)
+        missing = [b.policy for b in self.bands if b.policy not in policies]
+        if missing:
+            raise KeyError(
+                f"controller bands reference unknown policies "
+                f"{missing}; suite: {', '.join(policies)}"
+            )
+
+
+class RateEstimatingController(_BandedController):
+    """CI-hysteresis load balancing per arXiv:2012.10142.
+
+    Pools the last ``estimation_windows`` observation windows into one
+    arrival-rate estimate ``λ̂ = Σ arrivals / Σ exposure`` with the
+    Poisson confidence half-width
+    ``z · sqrt(Σ arrivals / E) / Σ exposure`` (``E`` lock-step replicas
+    average the counts). The active policy switches to a different
+    band's policy only when
+
+    * the target band differs from the active policy's, **and**
+    * at least ``min_dwell`` decisions have passed since the last
+      switch (dwell hysteresis), **and**
+    * the whole interval ``[λ̂ − half, λ̂ + half]`` lies inside the
+      target band (confidence hysteresis).
+
+    Both hysteresis rails exist to suppress chattering at band
+    boundaries, where the candidate policies are near-tied anyway.
+    """
+
+    __fingerprint_exclude__ = (
+        "decisions",
+        "_windows",
+        "_dwell",
+        "_rate",
+        "_half_width",
+    )
+
+    def __init__(
+        self,
+        bands,
+        confidence: float = 1.96,
+        estimation_windows: int = 3,
+        min_dwell: int = 2,
+        decision_interval: int = 2,
+        observation_lag: int = 0,
+    ) -> None:
+        super().__init__(bands)
+        if confidence <= 0:
+            raise ValueError(f"confidence must be > 0, got {confidence}")
+        if estimation_windows < 1:
+            raise ValueError("estimation_windows must be >= 1")
+        if min_dwell < 1:
+            raise ValueError("min_dwell must be >= 1")
+        if decision_interval < 1 or observation_lag < 0:
+            raise ValueError(
+                "decision_interval must be >= 1 and observation_lag >= 0"
+            )
+        self.confidence = float(confidence)
+        self.estimation_windows = int(estimation_windows)
+        self.min_dwell = int(min_dwell)
+        self.decision_interval = int(decision_interval)
+        self.observation_lag = int(observation_lag)
+        self._windows: deque[tuple[float, float]] = deque(
+            maxlen=self.estimation_windows
+        )
+        self._dwell = 0
+        self._rate = 0.0
+        self._half_width = math.inf
+
+    def reset(
+        self,
+        policies: tuple[str, ...],
+        initial_policy: str,
+        config: "SystemConfig",
+    ) -> None:
+        super().reset(policies, initial_policy, config)
+        self._windows = deque(maxlen=self.estimation_windows)
+        self._dwell = 0
+        self._rate = 0.0
+        self._half_width = math.inf
+
+    def decide(self, observation: ControlObservation) -> ControlAction:
+        self._windows.append((observation.arrivals, observation.exposure))
+        arrivals = sum(a for a, _ in self._windows)
+        exposure = sum(x for _, x in self._windows)
+        if exposure <= 0:
+            return KEEP
+        self._rate = arrivals / exposure
+        self._half_width = (
+            self.confidence
+            * math.sqrt(max(arrivals, 0.0) / observation.num_replicas)
+            / exposure
+        )
+        self._dwell += 1
+        target = self.band_for(self._rate)
+        if target.policy == observation.policy:
+            return KEEP
+        if self._dwell < self.min_dwell:
+            return KEEP
+        low, high = self._rate - self._half_width, self._rate + self._half_width
+        if not (target.low <= low and high < target.high):
+            return KEEP
+        self._dwell = 0
+        return ControlAction(policy=target.policy)
+
+    def decision_extras(self) -> dict:
+        return {"rate": self._rate, "half_width": self._half_width}
+
+
+class OracleController(_BandedController):
+    """Knows the true workload profile; defines the regret baseline.
+
+    Reads the deterministic :class:`~repro.queueing.workloads.ProfileRate`
+    directly (no estimation, no staleness) and switches immediately when
+    the mean true rate over the *upcoming* decision window falls in a
+    different band. Its drops lower-bound what any band-table policy
+    selector can achieve, so ``drops(controller) − drops(oracle)`` is
+    the regret reported by :mod:`repro.serving.regret`.
+    """
+
+    __fingerprint_exclude__ = ("decisions", "_rate")
+
+    def __init__(
+        self,
+        profile: "ProfileRate",
+        bands,
+        decision_interval: int = 2,
+    ) -> None:
+        super().__init__(bands)
+        if decision_interval < 1:
+            raise ValueError("decision_interval must be >= 1")
+        self.profile = profile
+        self.decision_interval = int(decision_interval)
+        self._rate = 0.0
+
+    def reset(
+        self,
+        policies: tuple[str, ...],
+        initial_policy: str,
+        config: "SystemConfig",
+    ) -> None:
+        super().reset(policies, initial_policy, config)
+        self._rate = 0.0
+
+    def decide(self, observation: ControlObservation) -> ControlAction:
+        start = observation.epoch + observation.age  # next epoch's index
+        rates = [
+            self.profile.rate_at(start + i)
+            for i in range(self.decision_interval)
+        ]
+        self._rate = sum(rates) / len(rates)
+        target = self.band_for(self._rate)
+        if target.policy == observation.policy:
+            return KEEP
+        return ControlAction(policy=target.policy)
+
+    def decision_extras(self) -> dict:
+        return {"rate": self._rate}
+
+
+class ScriptedController(Controller):
+    """Replays a fixed action sequence, then keeps (testing / what-if)."""
+
+    __fingerprint_exclude__ = ("decisions", "_cursor")
+
+    def __init__(
+        self,
+        actions: "Sequence[ControlAction]",
+        decision_interval: int = 1,
+    ) -> None:
+        super().__init__()
+        if decision_interval < 1:
+            raise ValueError("decision_interval must be >= 1")
+        self.actions = tuple(actions)
+        if not all(isinstance(a, ControlAction) for a in self.actions):
+            raise ValueError("actions must be ControlAction instances")
+        self.decision_interval = int(decision_interval)
+        self._cursor = 0
+
+    def reset(
+        self,
+        policies: tuple[str, ...],
+        initial_policy: str,
+        config: "SystemConfig",
+    ) -> None:
+        super().reset(policies, initial_policy, config)
+        self._cursor = 0
+
+    def decide(self, observation: ControlObservation) -> ControlAction:
+        if self._cursor >= len(self.actions):
+            return KEEP
+        action = self.actions[self._cursor]
+        self._cursor += 1
+        return action
+
+
+def resize_queue_fleet(
+    env: BatchedFiniteSystemEnv,
+    num_queues: int,
+    conserve_traffic: bool = True,
+) -> np.ndarray:
+    """Add or drain queues of a running batched finite system, in place.
+
+    Growing appends empty queues at the paper's homogeneous service
+    rate. Draining removes the trailing queues and water-fills their
+    jobs into the least-loaded surviving queues (deterministic,
+    replica-by-replica); jobs that find every surviving buffer full are
+    returned as the per-replica overflow ``(E,)`` so the caller can
+    account them as drops — total queue mass is conserved up to exactly
+    that overflow (tested).
+
+    With ``conserve_traffic`` (the default) the arrival process is
+    replaced by a shallow copy whose levels are scaled by
+    ``M_old / M_new``: the *system-wide* offered load ``M·λ`` is held
+    fixed, so scaling genuinely relieves (or concentrates) per-queue
+    pressure instead of being cancelled by the frozen-rate model's
+    ``λ_j ∝ M`` scaling. Derived cosmetic attributes of the profile
+    (``mean``, ``base_rate``, ...) are left untouched — only
+    ``levels`` feeds the simulation.
+
+    Only the plain :class:`BatchedFiniteSystemEnv` is eligible:
+    subclasses (graph, heterogeneous, delayed) carry extra per-queue
+    state this function cannot see.
+    """
+    if type(env) is not BatchedFiniteSystemEnv:
+        raise TypeError(
+            "resize_queue_fleet supports exactly BatchedFiniteSystemEnv, "
+            f"got {type(env).__name__}"
+        )
+    if env._states is None:
+        raise RuntimeError("environment must be reset before resizing")
+    config = env.config
+    new_m = int(num_queues)
+    old_m = config.num_queues
+    floor = max(1, config.d)
+    if new_m < floor:
+        raise ValueError(
+            f"num_queues must be >= {floor} (sampling d={config.d}), "
+            f"got {new_m}"
+        )
+    e = env.num_replicas
+    overflow = np.zeros(e)
+    if new_m == old_m:
+        return overflow
+    if new_m > old_m:
+        add = new_m - old_m
+        env._states = np.hstack(
+            [env._states, np.zeros((e, add), dtype=np.int64)]
+        )
+        env.service_rates = np.concatenate(
+            [env.service_rates, np.full(add, config.service_rate)]
+        )
+    else:
+        moved = env._states[:, new_m:].sum(axis=1)
+        kept = np.ascontiguousarray(env._states[:, :new_m])
+        buffer = config.buffer_size
+        for r in range(e):
+            row = kept[r]
+            jobs = int(moved[r])
+            while jobs > 0:
+                open_idx = np.flatnonzero(row < buffer)
+                if open_idx.size == 0:
+                    overflow[r] = float(jobs)
+                    break
+                fill = row[open_idx]
+                lowest = open_idx[fill == fill.min()]
+                take = min(jobs, lowest.size)
+                row[lowest[:take]] += 1
+                jobs -= take
+        env._states = kept
+        env.service_rates = env.service_rates[:new_m].copy()
+    if conserve_traffic:
+        arrivals = copy.copy(env.arrivals)
+        arrivals.levels = arrivals.levels * (old_m / new_m)
+        env.arrivals = arrivals
+    env.config = config.with_updates(num_queues=new_m)
+    return overflow
+
+
+class _WindowRecord:
+    """One closed decision window awaiting (possibly lagged) delivery."""
+
+    __slots__ = (
+        "end_epoch",
+        "epochs",
+        "arrivals",
+        "drops",
+        "mean_queue_length",
+        "exposure",
+    )
+
+    def __init__(
+        self, end_epoch, epochs, arrivals, drops, mean_queue_length, exposure
+    ) -> None:
+        self.end_epoch = end_epoch
+        self.epochs = epochs
+        self.arrivals = arrivals
+        self.drops = drops
+        self.mean_queue_length = mean_queue_length
+        self.exposure = exposure
+
+
+class ControlLoop:
+    """Engine-side glue: windows epochs, delivers observations, applies
+    actions.
+
+    Owned by :func:`repro.serving.engine.run_stream`; one loop per
+    shard. The loop accumulates per-epoch aggregates into the open
+    decision window, closes it every ``controller.decision_interval``
+    epochs, delays delivery by ``controller.observation_lag`` windows,
+    and applies the returned :class:`ControlAction`:
+
+    * ``policy`` — activate a named policy from the suite;
+    * ``weights`` — activate a convex combination of constant-rule
+      policies (cached per weight vector);
+    * ``scale`` — :func:`resize_queue_fleet` by ``scale`` queues,
+      resizing the metric fold alongside and accounting handoff
+      overflow as drops.
+
+    Everything here is pure Python/NumPy arithmetic on already-computed
+    epoch outputs — no RNG draws — so attaching a controller never
+    perturbs the environment's random streams.
+    """
+
+    def __init__(
+        self,
+        env: _BatchedQueueSystemBase,
+        metrics: "StreamingMetrics",
+        controller: Controller,
+        policy: "UpperLevelPolicy",
+        policies: "Mapping[str, UpperLevelPolicy] | None" = None,
+    ) -> None:
+        if not isinstance(controller, Controller):
+            raise TypeError(
+                f"controller must be a Controller, got {controller!r}"
+            )
+        self.env = env
+        self.metrics = metrics
+        self.controller = controller
+        self.suite: dict[str, "UpperLevelPolicy"] = dict(policies or {})
+        self.suite.setdefault(policy.name, policy)
+        self.active_name = policy.name
+        self.active_policy = policy
+        self._blends: dict[tuple, "UpperLevelPolicy"] = {}
+        self._pending: deque[_WindowRecord] = deque()
+        self._t = 0
+        self._open_window()
+        controller.reset(tuple(self.suite), self.active_name, env.config)
+
+    def _open_window(self) -> None:
+        self._w_epochs = 0
+        self._w_arrivals = 0.0
+        self._w_drops = 0.0
+        self._w_qlen = 0.0
+        self._w_queue_epochs = 0
+
+    def after_epoch(self, states: np.ndarray, info: dict) -> None:
+        """Fold one completed epoch; decide/apply at window boundaries."""
+        delta_t = self.env.config.delta_t
+        self._t += 1
+        self._w_epochs += 1
+        self._w_arrivals += (
+            float(info["arrival_rates"].sum(axis=1).mean()) * delta_t
+        )
+        self._w_drops += float(info["drops_total"].mean())
+        self._w_qlen += float(states.mean())
+        self._w_queue_epochs += self.env.config.num_queues
+        if self._w_epochs < self.controller.decision_interval:
+            return
+        self._pending.append(
+            _WindowRecord(
+                end_epoch=self._t,
+                epochs=self._w_epochs,
+                arrivals=self._w_arrivals,
+                drops=self._w_drops,
+                mean_queue_length=self._w_qlen / self._w_epochs,
+                exposure=self._w_queue_epochs * delta_t,
+            )
+        )
+        self._open_window()
+        if len(self._pending) <= self.controller.observation_lag:
+            return
+        record = self._pending.popleft()
+        observation = ControlObservation(
+            epoch=record.end_epoch,
+            age=self._t - record.end_epoch,
+            window=record.epochs,
+            delta_t=delta_t,
+            num_queues=self.env.config.num_queues,
+            num_replicas=self.env.num_replicas,
+            arrivals=record.arrivals,
+            drops=record.drops,
+            mean_queue_length=record.mean_queue_length,
+            exposure=record.exposure,
+            policy=self.active_name,
+        )
+        action = self.controller.decide(observation)
+        if not isinstance(action, ControlAction):
+            raise TypeError(
+                f"{self.controller.name}.decide returned {action!r}, "
+                "expected a ControlAction"
+            )
+        if not action.is_noop:
+            self._apply(action)
+        self.controller.decisions.append(
+            ControlDecision(
+                epoch=self._t,
+                observation=observation,
+                action=action,
+                policy=self.active_name,
+                num_queues=self.env.config.num_queues,
+                extras=self.controller.decision_extras(),
+            )
+        )
+
+    # -- action application ---------------------------------------------
+    def _apply(self, action: ControlAction) -> None:
+        if action.policy is not None:
+            try:
+                self.active_policy = self.suite[action.policy]
+            except KeyError:
+                raise KeyError(
+                    f"controller switched to unknown policy "
+                    f"{action.policy!r}; suite: {', '.join(self.suite)}"
+                ) from None
+            self.active_name = action.policy
+        elif action.weights is not None:
+            blend = self._blends.get(action.weights)
+            if blend is None:
+                blend = self._build_blend(action.weights)
+                self._blends[action.weights] = blend
+            self.active_policy = blend
+            self.active_name = blend.name
+        if action.scale:
+            target = self.env.config.num_queues + action.scale
+            overflow = resize_queue_fleet(self.env, target)
+            self.metrics.resize(self.env.service_rates)
+            if overflow.any():
+                self.metrics.observe_extra_drops(overflow)
+
+    def _build_blend(
+        self, weights: tuple[tuple[str, float], ...]
+    ) -> "UpperLevelPolicy":
+        rules = []
+        for name, _ in weights:
+            policy = self.suite.get(name)
+            if policy is None:
+                raise KeyError(
+                    f"controller re-weighted unknown policy {name!r}; "
+                    f"suite: {', '.join(self.suite)}"
+                )
+            if not isinstance(policy, ConstantRulePolicy):
+                raise TypeError(
+                    f"re-weighting requires constant-rule policies, "
+                    f"{name!r} is {type(policy).__name__}"
+                )
+            rules.append(policy.rule)
+        total = sum(w for _, w in weights)
+        mixed = DecisionRule.convex_combination(
+            rules, [w / total for _, w in weights]
+        )
+        label = ",".join(f"{n}:{w / total:g}" for n, w in weights)
+        return ConstantRulePolicy(mixed, name=f"mix({label})")

@@ -33,10 +33,12 @@ from typing import TYPE_CHECKING, Any
 import numpy as np
 
 from repro.config import SystemConfig
+from repro.execution import ExecutionContext, resolve_execution_context
 from repro.queueing.batched_env import (
     BatchedFiniteSystemEnv,
     _BatchedQueueSystemBase,
 )
+from repro.serving.control import Controller, ControlLoop
 from repro.serving.metrics import (
     DEFAULT_MAX_WINDOWS,
     SUMMARY_FIELDS,
@@ -81,6 +83,8 @@ class StreamRequest:
     max_batch_replicas: int = 64
     max_windows: int = DEFAULT_MAX_WINDOWS
     sim_backend: str = "numpy"
+    controller: "Controller | None" = None
+    policies: "dict[str, UpperLevelPolicy] | None" = None
 
     def __post_init__(self) -> None:
         from repro.queueing.backends import available_backends
@@ -109,6 +113,14 @@ class StreamRequest:
                 "streaming requires a batched environment class, got "
                 f"{self.env_cls!r}"
             )
+        if self.controller is not None and not isinstance(
+            self.controller, Controller
+        ):
+            raise ValueError(
+                f"controller must be a Controller, got {self.controller!r}"
+            )
+        if self.policies is not None and self.controller is None:
+            raise ValueError("policies requires a controller")
 
     def resolved_env_cls(self) -> type:
         return self.env_cls or BatchedFiniteSystemEnv
@@ -138,6 +150,7 @@ class StreamResult:
     window_rows: np.ndarray  # (W, len(WINDOW_FIELDS))
     workers: int = 1
     scenario: str | None = None
+    controller_name: str | None = None
 
     summary_fields: tuple[str, ...] = SUMMARY_FIELDS
     window_fields: tuple[str, ...] = WINDOW_FIELDS
@@ -159,9 +172,15 @@ class StreamResult:
             rows.append(
                 [name, f"{ci.mean:.4g}", f"±{ci.half_width:.2g}"]
             )
+        control = (
+            f"controller={self.controller_name}, "
+            if self.controller_name
+            else ""
+        )
         title = (
             f"Stream {self.scenario or self.policy_name} — "
-            f"policy={self.policy_name}, M={self.config.num_queues}, "
+            f"policy={self.policy_name}, {control}"
+            f"M={self.config.num_queues}, "
             f"Δt={self.config.delta_t:g}, horizon={self.horizon} epochs, "
             f"E={self.num_replicas} replicas (workers={self.workers})"
         )
@@ -212,6 +231,8 @@ def run_stream(
     window: int,
     max_windows: int = DEFAULT_MAX_WINDOWS,
     seed=None,
+    controller: "Controller | None" = None,
+    policies: "dict[str, UpperLevelPolicy] | None" = None,
 ) -> StreamingMetrics:
     """Stream one environment for ``horizon`` epochs, folding metrics.
 
@@ -226,7 +247,9 @@ def run_stream(
     env : _BatchedQueueSystemBase
         Any batched environment (dense, graph, heterogeneous, delayed).
     policy : UpperLevelPolicy
-        Upper-level policy queried every epoch (Algorithm 1).
+        Upper-level policy queried every epoch (Algorithm 1). With a
+        controller attached this is the *initial* policy; the
+        controller may switch or re-weight it mid-stream.
     horizon : int
         Number of decision epochs to stream.
     window : int
@@ -235,6 +258,18 @@ def run_stream(
         Retention cap for the windowed series.
     seed : optional
         Forwarded to ``env.reset``.
+    controller : Controller, optional
+        Closed-loop hook (:mod:`repro.serving.control`): consulted
+        every ``controller.decision_interval`` epochs with the delayed
+        windowed observation surface, may keep/switch/re-weight the
+        policy or autoscale the fleet. ``None`` keeps the exact
+        uncontrolled loop; a
+        :class:`~repro.serving.control.StaticController` drives the
+        full hook machinery and is bit-identical to ``None`` (tested).
+    policies : dict, optional
+        Named policy suite the controller may switch among (requires
+        ``controller``); the initial policy is always included under
+        its own name.
 
     Returns
     -------
@@ -242,7 +277,13 @@ def run_stream(
         The populated fold (summaries + windowed series).
     """
     if horizon < 1:
-        raise ValueError("horizon must be >= 1 epoch")
+        raise ValueError(f"horizon must be >= 1 epoch, got {horizon}")
+    if window < 1:
+        raise ValueError(f"window must be >= 1 epoch, got {window}")
+    if max_windows < 1:
+        raise ValueError(f"max_windows must be >= 1, got {max_windows}")
+    if policies is not None and controller is None:
+        raise ValueError("policies requires a controller")
     env.reset(seed)
     metrics = StreamingMetrics(
         num_replicas=env.num_replicas,
@@ -252,11 +293,21 @@ def run_stream(
         window=window,
         max_windows=max_windows,
     )
+    if controller is None:
+        for _ in range(horizon):
+            _, _, info = env.step_with_policy(policy)
+            metrics.observe_epoch(
+                env.queue_states, info["drops_total"], info["arrival_rates"]
+            )
+        return metrics
+    loop = ControlLoop(env, metrics, controller, policy, policies)
     for _ in range(horizon):
-        _, _, info = env.step_with_policy(policy)
+        _, _, info = env.step_with_policy(loop.active_policy)
+        states = env.queue_states
         metrics.observe_epoch(
-            env.queue_states, info["drops_total"], info["arrival_rates"]
+            states, info["drops_total"], info["arrival_rates"]
         )
+        loop.after_epoch(states, info)
     return metrics
 
 
@@ -287,6 +338,8 @@ def _run_stream_shard(
         request.window,
         max_windows=request.max_windows,
         seed=rng,
+        controller=request.controller,
+        policies=request.policies,
     )
     return np.concatenate(
         [metrics.summaries().ravel(), metrics.windows.rows().ravel()]
@@ -304,22 +357,29 @@ def _shard_layout(request: StreamRequest) -> list[tuple[int, int]]:
 
 def run_stream_request(
     request: StreamRequest,
-    workers: int = 1,
+    workers: int | None = None,
     store: "ExperimentStore | None" = None,
+    context: ExecutionContext | None = None,
 ) -> StreamResult:
     """Execute one streaming request, sharded over replica chunks.
 
     Parameters
     ----------
     request : StreamRequest
-        The stream to run.
-    workers : int, optional
-        Process count; ``1`` stays in-process. Never changes the
-        merged result.
-    store : ExperimentStore, optional
-        Content-addressed shard cache: chunks already streamed by a
-        previous (possibly killed) run are merged from the store
-        instead of simulated, bit-identically.
+        The stream to run (including its ``sim_backend`` and
+        ``max_batch_replicas`` — those are request properties here
+        because they shape the cacheable shard payloads).
+    context : ExecutionContext, optional
+        Execution knobs (worker count, shard store); the context's
+        ``sim_backend``/``max_batch_replicas`` are ignored in favor of
+        the request's.
+    workers, store :
+        Deprecated — pass ``context=ExecutionContext(...)`` instead.
+        ``workers`` is the process count (``1`` stays in-process;
+        never changes the merged result); ``store`` the
+        content-addressed shard cache (chunks already streamed by a
+        previous, possibly killed, run are merged from the store
+        instead of simulated, bit-identically).
 
     Returns
     -------
@@ -329,8 +389,9 @@ def run_stream_request(
     from repro.experiments.parallel import _spawn_seed_children
     from repro.store.keys import stream_shard_key
 
-    if workers < 1:
-        raise ValueError(f"workers must be >= 1, got {workers}")
+    ctx = resolve_execution_context(context, workers=workers, store=store)
+    workers = ctx.workers
+    store = ctx.store
     layout = _shard_layout(request)
     children = _spawn_seed_children(request.seed, len(layout))
     widths = request.window_widths()
@@ -398,6 +459,9 @@ def run_stream_request(
         window_widths=widths,
         window_rows=window_acc / request.num_replicas,
         workers=int(workers),
+        controller_name=(
+            request.controller.name if request.controller else None
+        ),
     )
 
 
@@ -432,11 +496,13 @@ def run_stream_scenario(
     num_queues: int | None = None,
     num_replicas: int = 4,
     policy: str | None = None,
-    workers: int = 1,
+    workers: int | None = None,
     seed: int = 0,
     store: "ExperimentStore | None" = None,
     max_windows: int = DEFAULT_MAX_WINDOWS,
-    sim_backend: str = "numpy",
+    sim_backend: str | None = None,
+    controller: str | None = None,
+    context: ExecutionContext | None = None,
 ) -> StreamResult:
     """Stream one registered scenario at one delay.
 
@@ -458,21 +524,33 @@ def run_stream_scenario(
         Lock-step replica count ``E``.
     policy : str, optional
         Policy name within the scenario's suite; defaults to the
-        suite's first policy.
-    workers, seed, store :
+        suite's first policy. With a controller this is the stream's
+        *initial* policy.
+    controller : str, optional
+        Controller name from the scenario's registered controller
+        suite (``spec.build_controllers``); ``None`` streams
+        uncontrolled. The controller may switch among the scenario's
+        whole policy suite.
+    seed :
         As in :func:`run_stream_request`.
-    sim_backend : str, optional
-        Epoch kernel (``"numpy"``, ``"numba"``, ``"auto"``; see
-        :mod:`repro.queueing.backends`).
+    context : ExecutionContext, optional
+        Execution knobs (workers, store; a context ``sim_backend``
+        other than ``"numpy"`` is forwarded to the request).
+    workers, store, sim_backend :
+        Deprecated — pass ``context=ExecutionContext(...)`` instead.
 
     Raises
     ------
     KeyError
-        Unknown scenario (message lists the catalogue) or unknown
-        policy name (message lists the suite).
+        Unknown scenario (message lists the catalogue), unknown policy
+        name (message lists the suite), or unknown controller name
+        (message lists the scenario's controllers).
     """
     from repro.scenarios.registry import get_scenario
 
+    ctx = resolve_execution_context(
+        context, workers=workers, store=store, sim_backend=sim_backend
+    )
     spec = get_scenario(name)
     dt = float(delta_t) if delta_t is not None else spec.delta_ts[0]
     config = spec.config_for(dt, num_queues=num_queues)
@@ -486,6 +564,19 @@ def run_stream_scenario(
             f"scenario {name!r} has no policy {policy!r}; "
             f"available: {', '.join(suite)}"
         )
+    hook = None
+    if controller is not None:
+        controllers = (
+            spec.build_controllers(config, suite)
+            if spec.build_controllers is not None
+            else {}
+        )
+        if controller not in controllers:
+            raise KeyError(
+                f"scenario {name!r} has no controller {controller!r}; "
+                f"available: {', '.join(controllers) or '<none>'}"
+            )
+        hook = controllers[controller]
     request = StreamRequest(
         config=config,
         policy=suite[policy_name],
@@ -495,10 +586,14 @@ def run_stream_scenario(
         seed=seed,
         env_cls=spec.env_cls,
         env_kwargs=spec.env_kwargs_for(config),
-        max_batch_replicas=spec.max_batch_replicas,
+        max_batch_replicas=ctx.resolved_max_batch_replicas(
+            spec.max_batch_replicas
+        ),
         max_windows=max_windows,
-        sim_backend=sim_backend,
+        sim_backend=ctx.sim_backend,
+        controller=hook,
+        policies=dict(suite) if hook is not None else None,
     )
-    result = run_stream_request(request, workers=workers, store=store)
+    result = run_stream_request(request, context=ctx)
     result.scenario = name
     return result

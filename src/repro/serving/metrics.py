@@ -464,6 +464,12 @@ class StreamingMetrics:
         self.delta_t = float(delta_t)
         self.num_queues = int(self.service_rates.size)
         self.epochs = 0
+        # Queue-epochs observed (Σ M per epoch): the exposure that keeps
+        # per-queue normalizations exact when autoscaling changes M
+        # mid-stream. For a constant fleet this is the integer
+        # M · epochs, so every summary below stays bit-identical to the
+        # fixed-M arithmetic it replaced.
+        self._queue_epochs = 0
         self._qlen_counts = np.zeros(
             (self.num_replicas, self.num_states), dtype=np.int64
         )
@@ -505,6 +511,7 @@ class StreamingMetrics:
         sojourn = (states / self.service_rates[None, :]).mean(axis=1)
         self._sojourn.add(np.repeat(sojourn, len(_QUANTILES)))
         self.epochs += 1
+        self._queue_epochs += m
         span = m * self.delta_t
         self.windows.add_epoch(
             np.asarray(
@@ -516,6 +523,34 @@ class StreamingMetrics:
                 ]
             )
         )
+
+    def resize(self, service_rates: np.ndarray) -> None:
+        """Adopt a new fleet size mid-stream (closed-loop autoscaling).
+
+        Subsequent :meth:`observe_epoch` calls expect ``(E, M_new)``
+        arrays; all accumulated statistics stay valid because every
+        per-queue normalization divides by the observed queue-epochs,
+        not a fixed ``M``.
+        """
+        service_rates = np.asarray(service_rates, dtype=np.float64)
+        if service_rates.ndim != 1 or service_rates.size < 1:
+            raise ValueError("service_rates must be 1-D and non-empty")
+        if service_rates.min() <= 0:
+            raise ValueError("service rates must be > 0")
+        self.service_rates = service_rates.copy()
+        self.num_queues = int(service_rates.size)
+
+    def observe_extra_drops(self, drops: np.ndarray) -> None:
+        """Account drops outside the epoch kernel (autoscale handoff
+        overflow), shape ``(E,)``."""
+        drops = np.asarray(drops, dtype=np.float64)
+        if drops.shape != (self.num_replicas,):
+            raise ValueError(
+                f"drops must be ({self.num_replicas},), got {drops.shape}"
+            )
+        if drops.min() < 0:
+            raise ValueError("drop counts must be >= 0")
+        self._drops += drops
 
     # ------------------------------------------------------------------
     def _qlen_quantiles(self) -> np.ndarray:
@@ -537,11 +572,15 @@ class StreamingMetrics:
         if self.epochs == 0:
             raise ValueError("no epochs observed")
         e = self.num_replicas
-        span = self.num_queues * self.epochs * self.delta_t
+        # Exposure-based spans: identical to M · epochs · Δt (and to an
+        # exact float M divisor) while the fleet is constant, correct
+        # when autoscaling varied it.
+        span = self._queue_epochs * self.delta_t
+        mean_m = self._queue_epochs / self.epochs
         qlen_q = self._qlen_quantiles()
         sojourn_q = self._sojourn.values().reshape(e, len(_QUANTILES))
         out = np.empty((e, len(SUMMARY_FIELDS)))
-        out[:, 0] = self._drops / self.num_queues
+        out[:, 0] = self._drops / mean_m
         out[:, 1] = self._drops / span
         out[:, 2] = (self._arrivals - self._drops) / span
         out[:, 3] = self._qlen_sum / self.epochs

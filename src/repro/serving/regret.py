@@ -1,0 +1,172 @@
+"""Regret-vs-oracle evaluation for closed-loop controlled streams.
+
+*Regret* here is the excess cumulative drop count over the
+:class:`~repro.serving.control.OracleController` baseline, under
+matched seeds:
+
+``regret(c) = drops(c) − drops(oracle)``
+
+where ``drops`` is the replica-mean ``total_drops_per_queue`` summary
+of one streamed horizon. The oracle reads the true workload profile
+and switches bands instantly, so it lower-bounds what any selector
+over the same band table can achieve; a learning controller's quality
+is how little of the *static* policies' regret it leaves on the table.
+Matched seeds give every contestant the same chunk layout and
+``SeedSequence`` children (the deterministic arrival profile is shared
+exactly; queue-side draws stay coupled until the first policy
+divergence), which removes most of the Monte-Carlo variance from the
+regret differences.
+
+Only the O(1)-memory streaming engine makes this evaluation reachable
+at long horizons — nothing trajectory-shaped is ever materialized.
+
+``benchmarks/bench_adaptive_control.py`` runs this on both
+``adaptive-*`` scenarios and asserts the acceptance band
+(estimator regret ≤ 50% of the best static policy's regret).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.execution import ExecutionContext
+from repro.serving.engine import run_stream_scenario
+from repro.utils.tables import format_table
+
+if TYPE_CHECKING:
+    from repro.config import SystemConfig
+
+__all__ = ["RegretReport", "evaluate_regret"]
+
+#: Summary field the regret is computed over.
+DROPS_FIELD = "total_drops_per_queue"
+
+
+@dataclass
+class RegretReport:
+    """Drops and regrets of every contestant on one scenario stream."""
+
+    scenario: str
+    horizon: int
+    delta_t: float
+    num_queues: int
+    num_replicas: int
+    seed: int
+    oracle_drops: float
+    controlled_drops: dict[str, float] = field(default_factory=dict)
+    static_drops: dict[str, float] = field(default_factory=dict)
+
+    def regret(self, controller: str) -> float:
+        """Excess drops of one controller over the oracle."""
+        return self.controlled_drops[controller] - self.oracle_drops
+
+    def static_regret(self, policy: str) -> float:
+        """Excess drops of one fixed policy over the oracle."""
+        return self.static_drops[policy] - self.oracle_drops
+
+    @property
+    def best_static_regret(self) -> float:
+        """The strongest fixed policy's regret (the bar to beat)."""
+        if not self.static_drops:
+            raise ValueError("no static policies evaluated")
+        return min(self.static_drops.values()) - self.oracle_drops
+
+    def format_table(self) -> str:
+        rows = [["oracle (controller)", f"{self.oracle_drops:.4g}", "0"]]
+        for name, drops in sorted(self.controlled_drops.items()):
+            rows.append(
+                [
+                    f"{name} (controller)",
+                    f"{drops:.4g}",
+                    f"{drops - self.oracle_drops:.4g}",
+                ]
+            )
+        for name, drops in sorted(self.static_drops.items()):
+            rows.append(
+                [
+                    f"{name} (static)",
+                    f"{drops:.4g}",
+                    f"{drops - self.oracle_drops:.4g}",
+                ]
+            )
+        title = (
+            f"Regret vs oracle — {self.scenario}, "
+            f"horizon={self.horizon} epochs, Δt={self.delta_t:g}, "
+            f"M={self.num_queues}, E={self.num_replicas}, seed={self.seed}"
+        )
+        return format_table(
+            ["contestant", "drops/queue", "regret"], rows, title=title
+        )
+
+
+def evaluate_regret(
+    name: str,
+    horizon: int,
+    num_replicas: int = 8,
+    num_queues: int | None = None,
+    delta_t: float | None = None,
+    seed: int = 0,
+    context: ExecutionContext | None = None,
+) -> RegretReport:
+    """Stream every controller and every static policy of one scenario
+    under matched seeds and report drops/regret.
+
+    The scenario must register a controller suite containing
+    ``"oracle"`` (:func:`repro.scenarios.registry.ScenarioSpec`'s
+    ``build_controllers``); every *other* registered controller is
+    evaluated against it, as is every policy of the scenario's static
+    suite. Controlled streams start from the suite's first policy.
+
+    Parameters mirror :func:`repro.serving.engine.run_stream_scenario`;
+    ``context`` carries the execution knobs (workers, store — cached
+    shards make re-running a report incremental).
+    """
+    from repro.scenarios.registry import get_scenario
+
+    spec = get_scenario(name)
+    if spec.build_controllers is None:
+        raise ValueError(
+            f"scenario {name!r} registers no controllers; regret "
+            "evaluation needs a controller suite with an 'oracle'"
+        )
+    ctx = context if context is not None else ExecutionContext()
+    dt = float(delta_t) if delta_t is not None else spec.delta_ts[0]
+    config = spec.config_for(dt, num_queues=num_queues)
+    controllers = spec.build_controllers(config, spec.build_policies(config))
+    if "oracle" not in controllers:
+        raise ValueError(
+            f"scenario {name!r} has no 'oracle' controller; "
+            f"available: {', '.join(controllers)}"
+        )
+
+    def drops(policy=None, controller=None) -> float:
+        result = run_stream_scenario(
+            name,
+            horizon,
+            delta_t=dt,
+            num_queues=num_queues,
+            num_replicas=num_replicas,
+            policy=policy,
+            seed=seed,
+            controller=controller,
+            context=ctx,
+        )
+        return result.summary_mean(DROPS_FIELD)
+
+    report = RegretReport(
+        scenario=name,
+        horizon=int(horizon),
+        delta_t=dt,
+        num_queues=config.num_queues,
+        num_replicas=int(num_replicas),
+        seed=int(seed),
+        oracle_drops=drops(controller="oracle"),
+    )
+    for controller in controllers:
+        if controller == "oracle":
+            continue
+        report.controlled_drops[controller] = drops(controller=controller)
+    for policy in spec.build_policies(config):
+        report.static_drops[policy] = drops(policy=policy)
+    return report

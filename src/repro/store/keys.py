@@ -248,5 +248,15 @@ def stream_shard_key(
         "shard_runs": int(num_runs),
         "shard_seeds": (seed_material,),
     }
+    if request.controller is not None:
+        # Closed-loop streams: the controller's *construction
+        # parameters* and the switchable policy suite shape the
+        # trajectory, so they enter the key; mutable run state is
+        # excluded via each controller's ``__fingerprint_exclude__``
+        # (and cleared by ``Controller.reset`` before every shard).
+        # Uncontrolled requests omit these entries entirely, keeping
+        # every pre-existing cache key byte-identical.
+        payload["controller"] = request.controller
+        payload["control_policies"] = dict(request.policies or {})
     _feed_sim_backend(payload, getattr(request, "sim_backend", "numpy"))
     return fingerprint(payload)

@@ -155,6 +155,9 @@ def _regenerate(
     :mod:`repro.store` without dragging in the experiment runners (which
     themselves import the parallel executor, which consults the store).
     """
+    from repro.execution import ExecutionContext
+
+    ctx = ExecutionContext(workers=int(workers), store=store)
     params = dict(spec.params)
     params.pop("seed", None)  # already resolved into ``seed``
     if spec.kind == "table1":
@@ -174,8 +177,7 @@ def _regenerate(
             num_runs=int(params.get("runs", 5)),
             mf_eval_episodes=int(params.get("mf_eval_episodes", 50)),
             seed=seed,
-            workers=workers,
-            store=store,
+            context=ctx,
         )
         return result.format_table(), result.to_csv()
     if spec.kind in ("fig5", "fig6"):
@@ -191,8 +193,7 @@ def _regenerate(
             ),
             num_runs=int(params.get("runs", 5)),
             seed=seed,
-            workers=workers,
-            store=store,
+            context=ctx,
         )
         return result.format_table(), result.to_csv()
     if spec.kind == "scenario":
@@ -207,8 +208,7 @@ def _regenerate(
             ),
             num_runs=int(params["runs"]) if "runs" in params else None,
             seed=seed,
-            workers=workers,
-            store=store,
+            context=ctx,
         )
         return result.format_table(), result.to_csv()
     raise AssertionError(f"unhandled kind {spec.kind!r}")  # pragma: no cover

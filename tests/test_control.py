@@ -1,0 +1,673 @@
+"""Tests for the closed-loop controller hook (`repro.serving.control`).
+
+Pins the redesign's contract: attaching a `StaticController` is
+bit-identical to the uncontrolled loop, controlled streams stay
+worker-count invariant and store-cacheable, autoscaling conserves queue
+mass, and the rate estimator's decision trace on the flash-crowd
+scenario is frozen as a golden JSON file (regenerate with
+``GOLDEN_REGEN=1`` and call it out in the PR description).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig
+from repro.experiments.runner import policy_suite
+from repro.queueing.batched_env import BatchedFiniteSystemEnv
+from repro.queueing.delayed_env import BatchedDelayedFiniteEnv
+from repro.queueing.delays import DeterministicDelay
+from repro.scenarios.builtin import (
+    ADAPTIVE_SWITCH_RATE,
+    adaptive_flash_crowd_arrival_process,
+    adaptive_load_bands,
+)
+from repro.scenarios.registry import get_scenario
+from repro.serving.control import (
+    KEEP,
+    ControlAction,
+    ControlObservation,
+    Controller,
+    LoadBand,
+    OracleController,
+    RateEstimatingController,
+    ScriptedController,
+    StaticController,
+    resize_queue_fleet,
+)
+from repro.serving.engine import StreamRequest, run_stream, run_stream_request
+from repro.store import ExperimentStore
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+REGEN = os.environ.get("GOLDEN_REGEN") == "1"
+
+_SEED = 20260731
+
+_CONFIG = SystemConfig(
+    num_clients=120,
+    num_queues=12,
+    buffer_size=5,
+    d=2,
+    delta_t=2.0,
+    episode_length=20,
+    monte_carlo_runs=3,
+)
+
+
+def _env(config=_CONFIG, replicas=2, seed=_SEED, **kwargs):
+    kwargs.setdefault("per_packet_randomization", True)
+    return BatchedFiniteSystemEnv(
+        config, num_replicas=replicas, seed=seed, **kwargs
+    )
+
+
+def _suite(config=_CONFIG):
+    return policy_suite(config)
+
+
+def _jsq(config=_CONFIG):
+    return _suite(config)["JSQ(2)"]
+
+
+def _observation(
+    rate: float,
+    policy: str = "JSQ(2)",
+    exposure: float = 1000.0,
+    num_replicas: int = 10_000,
+    epoch: int = 2,
+) -> ControlObservation:
+    """A synthetic window whose pooled estimate is exactly ``rate``."""
+    return ControlObservation(
+        epoch=epoch,
+        age=0,
+        window=2,
+        delta_t=6.0,
+        num_queues=10,
+        num_replicas=num_replicas,
+        arrivals=rate * exposure,
+        drops=0.0,
+        mean_queue_length=0.0,
+        exposure=exposure,
+        policy=policy,
+    )
+
+
+_BANDS = (
+    LoadBand("JSQ(2)", 0.0, ADAPTIVE_SWITCH_RATE),
+    LoadBand("RND", ADAPTIVE_SWITCH_RATE, math.inf),
+)
+
+
+class TestBandsAndActions:
+    def test_band_rejects_bad_interval(self):
+        with pytest.raises(ValueError, match="low < high"):
+            LoadBand("JSQ(2)", 1.0, 0.5)
+        with pytest.raises(ValueError, match="low < high"):
+            LoadBand("JSQ(2)", -0.1, 1.0)
+        with pytest.raises(ValueError, match="non-empty"):
+            LoadBand("", 0.0, 1.0)
+
+    def test_band_table_must_tile_zero_to_infinity(self):
+        with pytest.raises(ValueError, match="start at rate 0"):
+            RateEstimatingController([LoadBand("RND", 0.5, math.inf)])
+        with pytest.raises(ValueError, match="gap"):
+            RateEstimatingController(
+                [LoadBand("JSQ(2)", 0.0, 1.0), LoadBand("RND", 1.5, math.inf)]
+            )
+        with pytest.raises(ValueError, match="infinity"):
+            RateEstimatingController([LoadBand("JSQ(2)", 0.0, 2.0)])
+        with pytest.raises(ValueError, match="at least one"):
+            RateEstimatingController([])
+
+    def test_band_triples_are_coerced_and_sorted(self):
+        controller = RateEstimatingController(
+            [("RND", 1.15, math.inf), ("JSQ(2)", 0.0, 1.15)]
+        )
+        assert controller.bands[0].policy == "JSQ(2)"
+        assert controller.band_for(0.4).policy == "JSQ(2)"
+        assert controller.band_for(1.15).policy == "RND"
+        assert controller.band_for(99.0).policy == "RND"
+
+    def test_band_policies_validated_against_suite_at_reset(self):
+        controller = RateEstimatingController(
+            [LoadBand("THR", 0.0, math.inf)]
+        )
+        with pytest.raises(KeyError, match="THR"):
+            controller.reset(("JSQ(2)", "RND"), "JSQ(2)", _CONFIG)
+
+    def test_action_policy_and_weights_are_exclusive(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            ControlAction(policy="RND", weights={"RND": 1.0})
+
+    def test_action_weights_normalize_to_sorted_tuple(self):
+        a = ControlAction(weights={"RND": 0.5, "JSQ(2)": 0.5})
+        b = ControlAction(weights=(("RND", 0.5), ("JSQ(2)", 0.5)))
+        assert a == b
+        assert a.weights == (("JSQ(2)", 0.5), ("RND", 0.5))
+
+    def test_action_rejects_bad_weights_and_scale(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            ControlAction(weights={"RND": -1.0})
+        with pytest.raises(ValueError, match="all be zero"):
+            ControlAction(weights={"RND": 0.0})
+        with pytest.raises(ValueError, match="integer"):
+            ControlAction(scale=0.5)
+
+    def test_keep_is_noop(self):
+        assert KEEP.is_noop
+        assert not ControlAction(policy="RND").is_noop
+        assert not ControlAction(scale=1).is_noop
+
+    def test_observation_rates(self):
+        obs = _observation(1.3, exposure=200.0)
+        assert obs.arrival_rate == pytest.approx(1.3)
+        assert obs.drop_rate == 0.0
+
+    def test_estimator_parameter_validation(self):
+        with pytest.raises(ValueError, match="confidence"):
+            RateEstimatingController(_BANDS, confidence=0.0)
+        with pytest.raises(ValueError, match="estimation_windows"):
+            RateEstimatingController(_BANDS, estimation_windows=0)
+        with pytest.raises(ValueError, match="min_dwell"):
+            RateEstimatingController(_BANDS, min_dwell=0)
+        with pytest.raises(ValueError, match="decision_interval"):
+            RateEstimatingController(_BANDS, decision_interval=0)
+
+
+class TestRateEstimatorHysteresis:
+    def _controller(self, **kwargs):
+        kwargs.setdefault("estimation_windows", 1)
+        kwargs.setdefault("min_dwell", 2)
+        controller = RateEstimatingController(_BANDS, **kwargs)
+        controller.reset(("JSQ(2)", "RND"), "JSQ(2)", _CONFIG)
+        return controller
+
+    def test_keeps_inside_own_band(self):
+        controller = self._controller()
+        for _ in range(4):
+            assert controller.decide(_observation(0.6)) is KEEP
+
+    def test_dwell_delays_the_switch(self):
+        controller = self._controller(min_dwell=3)
+        assert controller.decide(_observation(2.0)) is KEEP
+        assert controller.decide(_observation(2.0)) is KEEP
+        action = controller.decide(_observation(2.0))
+        assert action.policy == "RND"
+
+    def test_wide_confidence_interval_blocks_the_switch(self):
+        # One replica and a tiny window: λ̂ = 1.3 sits above the
+        # boundary but its CI straddles it, so the estimator holds.
+        controller = self._controller(min_dwell=1)
+        obs = _observation(1.3, exposure=2.0, num_replicas=1)
+        assert controller._half_width == math.inf
+        assert controller.decide(obs) is KEEP
+        assert controller._rate == pytest.approx(1.3)
+        assert controller._half_width > 0.5
+
+    def test_tight_confidence_interval_switches_both_ways(self):
+        controller = self._controller(min_dwell=1)
+        action = controller.decide(_observation(2.0))
+        assert action.policy == "RND"
+        back = None
+        for _ in range(2):  # dwell resets after the switch
+            back = controller.decide(_observation(0.5, policy="RND"))
+        assert back.policy == "JSQ(2)"
+
+    def test_pooled_estimate_spans_estimation_windows(self):
+        controller = self._controller(estimation_windows=2, min_dwell=1)
+        controller.decide(_observation(0.4))
+        controller.decide(_observation(2.0))
+        # Pooled over both windows: (0.4 + 2.0)/2 = 1.2, barely above
+        # the 1.15 boundary.
+        assert controller._rate == pytest.approx(1.2)
+
+    def test_extras_report_rate_and_half_width(self):
+        controller = self._controller()
+        controller.decide(_observation(0.9))
+        extras = controller.decision_extras()
+        assert extras["rate"] == pytest.approx(0.9)
+        assert extras["half_width"] > 0.0
+
+
+class TestOracleController:
+    def test_switches_on_the_true_profile(self):
+        profile = adaptive_flash_crowd_arrival_process(6.0)
+        controller = OracleController(profile, _BANDS, decision_interval=2)
+        controller.reset(("JSQ(2)", "RND"), "JSQ(2)", _CONFIG)
+        # Quiet baseline: stays put.
+        assert controller.decide(_observation(0.6, epoch=4)) is KEEP
+        assert controller.decision_extras()["rate"] == pytest.approx(0.6)
+        # On the overload plateau the upcoming window is above the
+        # boundary: switch immediately, no dwell, no CI.
+        action = controller.decide(_observation(0.6, epoch=24))
+        assert action.policy == "RND"
+        assert controller.decision_extras()["rate"] > ADAPTIVE_SWITCH_RATE
+
+
+class TestStaticBitIdentity:
+    """Attaching the hook machinery must not perturb the stream."""
+
+    def test_run_stream_matches_uncontrolled(self):
+        jsq = _jsq()
+        plain = run_stream(
+            _env(), jsq, horizon=24, window=4, seed=_SEED
+        )
+        controlled = run_stream(
+            _env(),
+            jsq,
+            horizon=24,
+            window=4,
+            seed=_SEED,
+            controller=StaticController(),
+            policies=_suite(),
+        )
+        assert np.array_equal(plain.summaries(), controlled.summaries())
+        assert np.array_equal(
+            plain.windows.rows(), controlled.windows.rows()
+        )
+
+    def test_run_stream_request_matches_uncontrolled(self):
+        def request(controller, policies):
+            return StreamRequest(
+                config=_CONFIG,
+                policy=_jsq(),
+                horizon=16,
+                window=4,
+                num_replicas=3,
+                seed=_SEED,
+                env_kwargs={"per_packet_randomization": True},
+                controller=controller,
+                policies=policies,
+            )
+
+        plain = run_stream_request(request(None, None))
+        controlled = run_stream_request(
+            request(StaticController(), _suite())
+        )
+        assert np.array_equal(plain.summaries, controlled.summaries)
+        assert np.array_equal(plain.window_rows, controlled.window_rows)
+        assert controlled.controller_name == "StaticController"
+        assert plain.controller_name is None
+
+
+def _flash_request(num_replicas=4, **overrides):
+    """A small controlled stream of the registered flash-crowd setup."""
+    spec = get_scenario("adaptive-flash-crowd")
+    config = spec.config_for(spec.delta_ts[0], num_queues=15)
+    suite = spec.build_policies(config)
+    controllers = spec.build_controllers(config, suite)
+    kwargs = dict(
+        config=config,
+        policy=suite["JSQ(2)"],
+        horizon=30,
+        window=2,
+        num_replicas=num_replicas,
+        seed=_SEED,
+        env_kwargs=spec.env_kwargs_for(config),
+        controller=controllers["rate"],
+        policies=suite,
+    )
+    kwargs.update(overrides)
+    return StreamRequest(**kwargs)
+
+
+class TestControlledStreamInvariance:
+    def test_worker_count_invariance(self):
+        from repro.execution import ExecutionContext
+
+        request = _flash_request(max_batch_replicas=2)  # two shards
+        serial = run_stream_request(request)
+        sharded = run_stream_request(
+            request, context=ExecutionContext(workers=2)
+        )
+        assert np.array_equal(serial.summaries, sharded.summaries)
+        assert np.array_equal(serial.window_rows, sharded.window_rows)
+
+    def test_store_round_trip_is_bit_identical(self, tmp_path):
+        from repro.execution import ExecutionContext
+
+        request = _flash_request(max_batch_replicas=2)
+        store = ExperimentStore(tmp_path / "cache")
+        ctx = ExecutionContext(store=store)
+        cold = run_stream_request(request, context=ctx)
+        assert store.stats.writes > 0
+        warm = run_stream_request(request, context=ctx)
+        assert np.array_equal(cold.summaries, warm.summaries)
+        assert np.array_equal(cold.window_rows, warm.window_rows)
+        uncached = run_stream_request(request)
+        assert np.array_equal(cold.summaries, uncached.summaries)
+
+    def test_shard_key_ignores_mutable_controller_state(self):
+        from repro.store.keys import stream_shard_key
+
+        seed = np.random.SeedSequence(5)
+        fresh = _flash_request()
+        used = _flash_request()
+        used.controller.decisions.append("sentinel")
+        used.controller._dwell = 99
+        assert stream_shard_key(fresh, 2, seed) == stream_shard_key(
+            used, 2, seed
+        )
+        other = _flash_request()
+        other.controller.min_dwell += 1
+        assert stream_shard_key(fresh, 2, seed) != stream_shard_key(
+            other, 2, seed
+        )
+
+
+class TestGoldenDecisionTrace:
+    """The estimator's flash-crowd decision sequence, frozen exactly."""
+
+    def _trace(self):
+        spec = get_scenario("adaptive-flash-crowd")
+        config = spec.config_for(spec.delta_ts[0], num_queues=20)
+        suite = spec.build_policies(config)
+        controller = spec.build_controllers(config, suite)["rate"]
+        env = BatchedFiniteSystemEnv(
+            config,
+            num_replicas=2,
+            seed=_SEED,
+            **spec.env_kwargs_for(config),
+        )
+        run_stream(
+            env,
+            suite["JSQ(2)"],
+            horizon=60,
+            window=4,
+            seed=_SEED,
+            controller=controller,
+            policies=suite,
+        )
+        return [
+            {
+                "epoch": d.epoch,
+                "observed_epoch": d.observation.epoch,
+                "policy": d.policy,
+                "switched_to": d.action.policy,
+                "num_queues": d.num_queues,
+                "rate": d.extras["rate"],
+                "half_width": d.extras["half_width"],
+            }
+            for d in controller.decisions
+        ]
+
+    def test_decision_trace_matches_golden(self):
+        path = GOLDEN_DIR / "adaptive_control_decisions.json"
+        trace = self._trace()
+        if REGEN:
+            path.write_text(json.dumps(trace, indent=1) + "\n")
+        assert path.exists(), (
+            "golden trace missing; regenerate with GOLDEN_REGEN=1"
+        )
+        assert trace == json.loads(path.read_text())
+
+    def test_trace_actually_switches_through_the_spike(self):
+        switched_to = [
+            d["switched_to"]
+            for d in self._trace()
+            if d["switched_to"] is not None
+        ]
+        # Ride JSQ at baseline, flip to RND through the overload,
+        # flip back on the drain — and no flapping beyond that.
+        assert switched_to == ["RND", "JSQ(2)"]
+
+
+class TestResizeQueueFleet:
+    def _resizable(self, states=None, replicas=2):
+        env = _env(replicas=replicas)
+        env.reset(_SEED)
+        if states is not None:
+            env._states = np.array(states, dtype=np.int64)
+        return env
+
+    def test_grow_appends_empty_queues(self):
+        env = self._resizable()
+        before = env.queue_states.sum()
+        levels_before = np.asarray(env.arrivals.levels, dtype=float).copy()
+        overflow = resize_queue_fleet(env, 18)
+        assert not overflow.any()
+        assert env.config.num_queues == 18
+        assert env.queue_states.shape == (2, 18)
+        assert env.queue_states[:, 12:].sum() == 0
+        assert env.queue_states.sum() == before
+        assert env.service_rates.shape == (18,)
+        np.testing.assert_allclose(
+            np.asarray(env.arrivals.levels, dtype=float),
+            levels_before * (12 / 18),
+        )
+
+    def test_drain_water_fills_into_least_loaded(self):
+        env = self._resizable(
+            states=[[0, 3, 5, 2], [1, 1, 1, 1]], replicas=2
+        )
+        env.service_rates = env.service_rates[:4].copy()
+        env.config = env.config.with_updates(num_queues=4)
+        overflow = resize_queue_fleet(env, 2)
+        # Replica 0: queues [0, 3] absorb the drained 7 jobs; the
+        # least-loaded queue fills first and no buffer exceeds 5.
+        assert not overflow.any()
+        np.testing.assert_array_equal(env.queue_states[0], [5, 5])
+        np.testing.assert_array_equal(env.queue_states[1], [2, 2])
+
+    def test_drain_conserves_mass_up_to_overflow(self):
+        env = self._resizable()
+        env._states = np.full((2, 12), 4, dtype=np.int64)
+        before = env.queue_states.sum(axis=1)
+        overflow = resize_queue_fleet(env, 3)
+        after = env.queue_states.sum(axis=1)
+        np.testing.assert_array_equal(after + overflow, before)
+        assert (overflow > 0).all()  # 3×5 buffers can't hold 48 jobs
+        assert (env.queue_states <= env.config.buffer_size).all()
+
+    def test_same_size_is_a_no_op(self):
+        env = self._resizable()
+        states = env.queue_states.copy()
+        overflow = resize_queue_fleet(env, 12)
+        assert not overflow.any()
+        np.testing.assert_array_equal(env.queue_states, states)
+
+    def test_rejects_subclassed_environments(self):
+        env = BatchedDelayedFiniteEnv(
+            _CONFIG,
+            num_replicas=1,
+            delay_model=DeterministicDelay(0),
+            seed=_SEED,
+        )
+        env.reset(_SEED)
+        with pytest.raises(TypeError, match="BatchedFiniteSystemEnv"):
+            resize_queue_fleet(env, 10)
+
+    def test_rejects_unreset_and_undersized(self):
+        env = _env()
+        with pytest.raises(RuntimeError, match="reset"):
+            resize_queue_fleet(env, 10)
+        env.reset(_SEED)
+        with pytest.raises(ValueError, match=">= 2"):
+            resize_queue_fleet(env, 1)  # d=2 needs at least 2 queues
+
+
+class TestScriptedControl:
+    def _stream(self, actions, horizon=12, interval=2):
+        controller = ScriptedController(actions, decision_interval=interval)
+        metrics = run_stream(
+            _env(),
+            _jsq(),
+            horizon=horizon,
+            window=2,
+            seed=_SEED,
+            controller=controller,
+            policies=_suite(),
+        )
+        return controller, metrics
+
+    def test_policy_switch_and_autoscale_are_recorded(self):
+        controller, metrics = self._stream(
+            [
+                ControlAction(policy="RND"),
+                ControlAction(scale=+4),
+                ControlAction(scale=-4),
+            ]
+        )
+        decisions = controller.decisions
+        assert [d.epoch for d in decisions[:3]] == [2, 4, 6]
+        assert decisions[0].policy == "RND"
+        assert decisions[0].observation.policy == "JSQ(2)"
+        assert decisions[1].num_queues == 16
+        assert decisions[2].num_queues == 12
+        assert all(d.action is KEEP for d in decisions[3:])
+        assert np.isfinite(metrics.summaries()).all()
+
+    def test_reweight_builds_a_convex_blend(self):
+        controller, _ = self._stream(
+            [ControlAction(weights={"JSQ(2)": 1.0, "RND": 1.0})]
+        )
+        assert controller.decisions[0].policy == "mix(JSQ(2):0.5,RND:0.5)"
+
+    def test_switch_to_unknown_policy_names_the_suite(self):
+        with pytest.raises(KeyError, match="JSQ\\(2\\), RND"):
+            self._stream([ControlAction(policy="THR")])
+
+    def test_reweight_unknown_policy_raises(self):
+        with pytest.raises(KeyError, match="unknown policy 'THR'"):
+            self._stream([ControlAction(weights={"THR": 1.0})])
+
+    def test_observation_lag_delays_delivery(self):
+        class Lagged(ScriptedController):
+            observation_lag = 1
+
+        controller = Lagged(
+            [ControlAction(policy="RND")], decision_interval=2
+        )
+        run_stream(
+            _env(),
+            _jsq(),
+            horizon=8,
+            window=2,
+            seed=_SEED,
+            controller=controller,
+            policies=_suite(),
+        )
+        first = controller.decisions[0]
+        # The window closing at epoch 2 is delivered one window later.
+        assert first.epoch == 4
+        assert first.observation.epoch == 2
+        assert first.observation.age == 2
+
+    def test_rejects_non_actions(self):
+        with pytest.raises(ValueError, match="ControlAction"):
+            ScriptedController(["RND"])
+
+
+class TestRunStreamValidation:
+    def test_boundary_values_raise(self):
+        env, jsq = _env(), _jsq()
+        with pytest.raises(ValueError, match="horizon"):
+            run_stream(env, jsq, horizon=0, window=2)
+        with pytest.raises(ValueError, match="window"):
+            run_stream(env, jsq, horizon=4, window=0)
+        with pytest.raises(ValueError, match="max_windows"):
+            run_stream(env, jsq, horizon=4, window=2, max_windows=0)
+
+    def test_policies_require_a_controller(self):
+        with pytest.raises(ValueError, match="requires a controller"):
+            run_stream(
+                _env(), _jsq(), horizon=4, window=2, policies=_suite()
+            )
+        with pytest.raises(ValueError, match="requires a controller"):
+            StreamRequest(
+                config=_CONFIG,
+                policy=_jsq(),
+                horizon=4,
+                window=2,
+                policies=_suite(),
+            )
+
+    def test_request_rejects_non_controller(self):
+        with pytest.raises(ValueError, match="Controller"):
+            StreamRequest(
+                config=_CONFIG,
+                policy=_jsq(),
+                horizon=4,
+                window=2,
+                controller="rate",
+            )
+
+    def test_loop_rejects_non_controller_and_bad_decide(self):
+        from repro.serving.control import ControlLoop
+        from repro.serving.metrics import StreamingMetrics
+
+        env = _env()
+        env.reset(_SEED)
+        metrics = StreamingMetrics(
+            num_replicas=env.num_replicas,
+            num_states=env.config.num_queue_states,
+            service_rates=env.service_rates,
+            delta_t=env.config.delta_t,
+            window=2,
+            max_windows=8,
+        )
+        with pytest.raises(TypeError, match="Controller"):
+            ControlLoop(env, metrics, object(), _jsq())
+
+        class Broken(Controller):
+            def decide(self, observation):
+                return "switch!"
+
+        with pytest.raises(TypeError, match="expected a ControlAction"):
+            run_stream(
+                _env(),
+                _jsq(),
+                horizon=2,
+                window=2,
+                seed=_SEED,
+                controller=Broken(),
+            )
+
+
+class TestStreamCLI:
+    def test_bad_horizon_exits_2(self):
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["stream", "adaptive-diurnal", "--horizon", "0"])
+        assert exc.value.code == 2
+
+    def test_bad_max_windows_exits_2(self):
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["stream", "adaptive-diurnal", "--max-windows", "-3"])
+        assert exc.value.code == 2
+
+    def test_unknown_controller_is_a_usage_error(self, capsys):
+        from repro.experiments.cli import main
+
+        rc = main(
+            ["stream", "adaptive-diurnal", "--controller", "nope"]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "nope" in err
+        assert "rate" in err  # the message lists the registered suite
+
+    def test_controlled_stream_smoke(self, capsys):
+        from repro.experiments.cli import main
+
+        rc = main(
+            [
+                "stream",
+                "adaptive-flash-crowd",
+                "--horizon", "8",
+                "--replicas", "1",
+                "--queues", "10",
+                "--controller", "static",
+            ]
+        )
+        assert rc == 0
+        assert "adaptive-flash-crowd" in capsys.readouterr().out

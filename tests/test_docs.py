@@ -106,6 +106,39 @@ class TestApiReference:
         text = (DOCS_DIR / "api.md").read_text()
         assert "repro.store" in text
 
+    def test_documented_members_import_from_their_module(self):
+        # Every `members:` list under a `::: module` directive names
+        # symbols that must exist on that module — the curated public
+        # surface stays importable exactly as documented.
+        text = (DOCS_DIR / "api.md").read_text()
+        blocks = re.findall(
+            r"^::: ([\w.]+)\n(?:\s+options:\n\s+members: \[([^\]]+)\])?",
+            text,
+            re.MULTILINE,
+        )
+        member_lists = [(m, syms) for m, syms in blocks if syms]
+        assert member_lists, "api.md must curate at least one members list"
+        missing = []
+        for module_name, symbols in member_lists:
+            module = import_module(module_name)
+            for symbol in (s.strip() for s in symbols.split(",")):
+                if not hasattr(module, symbol):
+                    missing.append(f"{module_name}.{symbol}")
+        assert not missing, f"api.md documents missing symbols: {missing}"
+
+    def test_curated_package_exports_import(self):
+        # The serving/queueing/scenarios packages re-export their entry
+        # points via __all__; every name must resolve.
+        for package in ("repro.serving", "repro.queueing", "repro.scenarios"):
+            module = import_module(package)
+            exported = getattr(module, "__all__", ())
+            assert exported, f"{package} must declare __all__"
+            for name in exported:
+                assert hasattr(module, name), f"{package}.{name} missing"
+        serving = import_module("repro.serving")
+        assert hasattr(serving, "Controller")
+        assert hasattr(serving, "evaluate_regret")
+
 
 class TestPaperMap:
     def test_referenced_modules_and_tests_exist(self):

@@ -1,0 +1,150 @@
+"""Tests for the consolidated execution knobs (`repro.execution`).
+
+The redesign's migration contract: ``context=ExecutionContext(...)`` is
+the one way to pass workers/store/sim_backend/max_batch_replicas going
+forward; the legacy kwargs still work for one release behind a
+``DeprecationWarning``, and mixing the two styles is a ``TypeError``.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.execution import ExecutionContext, resolve_execution_context
+from repro.store import ExperimentStore
+
+
+class TestExecutionContext:
+    def test_defaults(self):
+        ctx = ExecutionContext()
+        assert ctx.workers == 1
+        assert ctx.store is None
+        assert ctx.sim_backend == "numpy"
+        assert ctx.max_batch_replicas is None
+        assert ctx.resolved_max_batch_replicas() == 64
+        assert ctx.resolved_max_batch_replicas(8) == 8
+
+    def test_explicit_chunk_size_wins_over_callee_default(self):
+        ctx = ExecutionContext(max_batch_replicas=16)
+        assert ctx.resolved_max_batch_replicas(8) == 16
+
+    def test_is_frozen_and_validated(self):
+        ctx = ExecutionContext()
+        with pytest.raises(AttributeError):
+            ctx.workers = 4
+        with pytest.raises(ValueError, match="workers"):
+            ExecutionContext(workers=0)
+        with pytest.raises(ValueError, match="max_batch_replicas"):
+            ExecutionContext(max_batch_replicas=0)
+        with pytest.raises(ValueError, match="sim_backend"):
+            ExecutionContext(sim_backend="fortran")
+
+    def test_auto_backend_is_accepted(self):
+        assert ExecutionContext(sim_backend="auto").sim_backend == "auto"
+
+
+class TestResolver:
+    def test_no_arguments_yields_defaults(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # must not warn
+            ctx = resolve_execution_context()
+        assert ctx == ExecutionContext()
+
+    def test_context_passes_through_untouched(self):
+        ctx = ExecutionContext(workers=3, sim_backend="auto")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_execution_context(ctx) is ctx
+
+    def test_legacy_kwargs_warn_and_resolve(self):
+        with pytest.warns(DeprecationWarning, match="sim_backend, workers"):
+            ctx = resolve_execution_context(workers=4, sim_backend="auto")
+        assert ctx.workers == 4
+        assert ctx.sim_backend == "auto"
+        assert ctx.store is None
+
+    def test_mixing_context_and_legacy_is_an_error(self):
+        with pytest.raises(TypeError, match="not both.*workers"):
+            resolve_execution_context(ExecutionContext(), workers=2)
+
+    def test_store_dir_opens_a_store(self, tmp_path):
+        with pytest.warns(DeprecationWarning, match="store_dir"):
+            ctx = resolve_execution_context(store_dir=tmp_path / "cache")
+        assert isinstance(ctx.store, ExperimentStore)
+        assert (tmp_path / "cache").is_dir()
+
+    def test_store_and_store_dir_are_exclusive(self, tmp_path):
+        store = ExperimentStore(tmp_path / "a")
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError, match="mutually exclusive"):
+                resolve_execution_context(
+                    store=store, store_dir=tmp_path / "b"
+                )
+
+
+class TestEntryPointThreading:
+    """The harness entry points accept context= without warning and
+    reject mixed styles."""
+
+    def test_sweep_executor_rejects_mixed_styles(self):
+        from repro.experiments.parallel import SweepExecutor
+
+        with pytest.raises(TypeError, match="not both"):
+            SweepExecutor(workers=2, context=ExecutionContext(workers=2))
+
+    def test_sweep_executor_reads_context(self, tmp_path):
+        from repro.experiments.parallel import SweepExecutor
+
+        store = ExperimentStore(tmp_path / "cache")
+        executor = SweepExecutor(
+            context=ExecutionContext(workers=2, store=store)
+        )
+        assert executor.workers == 2
+        assert executor.store is store
+
+    def test_evaluate_policy_finite_accepts_context(self):
+        from repro.config import paper_system_config
+        from repro.experiments.runner import (
+            evaluate_policy_finite,
+            policy_suite,
+        )
+
+        config = paper_system_config(num_queues=8).with_updates(
+            episode_length=4, monte_carlo_runs=2
+        )
+        policy = policy_suite(config)["RND"]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            result = evaluate_policy_finite(
+                config, policy, context=ExecutionContext()
+            )
+        assert result.drops.shape == (2,)
+
+    def test_evaluate_policy_finite_rejects_mixed_styles(self):
+        from repro.config import paper_system_config
+        from repro.experiments.runner import (
+            evaluate_policy_finite,
+            policy_suite,
+        )
+
+        config = paper_system_config(num_queues=8)
+        policy = policy_suite(config)["RND"]
+        with pytest.raises(TypeError, match="not both"):
+            evaluate_policy_finite(
+                config, policy, workers=2, context=ExecutionContext()
+            )
+
+    def test_run_stream_scenario_legacy_workers_warn(self):
+        from repro.serving.engine import run_stream_scenario
+
+        with pytest.warns(DeprecationWarning, match="workers"):
+            result = run_stream_scenario(
+                "flash-crowd",
+                horizon=4,
+                num_replicas=1,
+                num_queues=10,
+                workers=1,
+            )
+        assert result.horizon == 4
