@@ -1,0 +1,255 @@
+#!/usr/bin/env python3
+"""Chaos layer: empty-schedule overhead and mass-conservation acceptance.
+
+Three properties of :mod:`repro.queueing.chaos` are checked and timed:
+
+* **bounded overhead** — running a sweep cell with an *empty*
+  :class:`~repro.queueing.chaos.DegradationSchedule` attached must stay
+  within 1.3× of the schedule-free wall clock (the empty schedule
+  short-circuits before binding any runtime state), and its trajectory
+  must be **bit-identical** to ``chaos=None`` — the determinism
+  contract's safety net.
+* **mass conservation** — on the registered ``outage-recovery``
+  scenario every epoch satisfies
+  ``drops_total == drops_kernel + chaos_drops``: jobs removed by
+  events (queue-loss mass, water-fill overflow, blackholed arrivals)
+  are accounted as drops, never silently deleted.
+* **degradation is visible** — the outage scenario must drop strictly
+  more than the undisturbed baseline on the same stream; a chaos layer
+  that does not hurt is a chaos layer that is not wired in.
+
+A machine-readable summary lands in ``BENCH_chaos.json`` (CI uploads
+it as an artifact per commit). ``--quick`` shrinks the grid for the CI
+smoke test.
+
+Runs standalone or under pytest-benchmark:
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py [--quick]
+    PYTHONPATH=src python -m pytest benchmarks/bench_chaos.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.queueing.batched_env import BatchedFiniteSystemEnv
+from repro.queueing.chaos import DegradationSchedule, ServerOutage
+from repro.scenarios.builtin import outage_recovery_schedule
+from repro.scenarios.registry import get_scenario
+from repro.utils.tables import format_table
+
+DEFAULT_JSON = Path("BENCH_chaos.json")
+#: An attached-but-empty schedule must stay within this factor of the
+#: schedule-free loop's wall clock.
+MAX_EMPTY_OVERHEAD = 1.3
+
+
+def _trace(env, policy, horizon: int, seed: int) -> dict:
+    """Drive one stream manually, folding the chaos accounting."""
+    rng_seed = seed
+    env.reset(rng_seed)
+    totals = {
+        "drops_total": 0.0,
+        "drops_kernel": 0.0,
+        "chaos_drops": 0.0,
+        "identity_violation": 0.0,
+    }
+    states = []
+    for _ in range(horizon):
+        _, _, info = env.step_with_policy(policy)
+        total = info["drops_total"]
+        kernel = info.get("drops_kernel", total)
+        chaos = info.get("chaos_drops", np.zeros_like(total))
+        totals["drops_total"] += float(total.sum())
+        totals["drops_kernel"] += float(kernel.sum())
+        totals["chaos_drops"] += float(chaos.sum())
+        totals["identity_violation"] = max(
+            totals["identity_violation"],
+            float(np.abs(total - kernel - chaos).max()),
+        )
+        states.append(env.queue_states)
+    totals["final_states"] = np.stack(states)
+    return totals
+
+
+def _empty_schedule_overhead(quick: bool, seed: int) -> dict:
+    """Time an attached empty schedule against no schedule at all."""
+    spec = get_scenario("outage-recovery")
+    num_queues = 20 if quick else 50
+    num_replicas = 2 if quick else 4
+    horizon = 80 if quick else 240
+    config = spec.config_for(spec.delta_ts[0], num_queues=num_queues)
+    policy = spec.build_policies(config)["JSQ(2)"]
+
+    def make_env(chaos):
+        return BatchedFiniteSystemEnv(
+            config,
+            num_replicas=num_replicas,
+            seed=seed,
+            per_packet_randomization=True,
+            chaos=chaos,
+        )
+
+    # Interleaved best-of-N: both variants simulate the identical
+    # stream, so per-variant minima give a noise-robust ratio.
+    repeats = 2 if quick else 3
+    t_plain = t_empty = float("inf")
+    plain = empty = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        plain = _trace(make_env(None), policy, horizon, seed)
+        t_plain = min(t_plain, time.perf_counter() - start)
+
+        start = time.perf_counter()
+        empty = _trace(make_env(DegradationSchedule()), policy, horizon, seed)
+        t_empty = min(t_empty, time.perf_counter() - start)
+
+    bit_identical = bool(
+        np.array_equal(plain["final_states"], empty["final_states"])
+        and plain["drops_total"] == empty["drops_total"]
+    )
+    overhead = t_empty / max(t_plain, 1e-9)
+    return {
+        "num_queues": num_queues,
+        "num_replicas": num_replicas,
+        "horizon": horizon,
+        "plain_wall_clock_s": round(t_plain, 4),
+        "empty_schedule_wall_clock_s": round(t_empty, 4),
+        "empty_overhead": round(overhead, 3),
+        "empty_bit_identical": bit_identical,
+    }
+
+
+def _outage_conservation(quick: bool, seed: int) -> dict:
+    """Mass accounting through the registered outage-recovery event."""
+    spec = get_scenario("outage-recovery")
+    num_queues = 20 if quick else 50
+    num_replicas = 2 if quick else 4
+    delta_t = spec.delta_ts[0]
+    config = spec.config_for(delta_t, num_queues=num_queues)
+    policy = spec.build_policies(config)["JSQ(2)"]
+    schedule = outage_recovery_schedule(delta_t)
+    # Past the restart with margin, so recovery is inside the window.
+    restart = max(
+        ev.restart_epoch
+        for ev in schedule.events
+        if isinstance(ev, ServerOutage)
+    )
+    horizon = restart + (10 if quick else 40)
+
+    def run(chaos):
+        env = BatchedFiniteSystemEnv(
+            config,
+            num_replicas=num_replicas,
+            seed=seed,
+            per_packet_randomization=True,
+            chaos=chaos,
+        )
+        return _trace(env, policy, horizon, seed)
+
+    start = time.perf_counter()
+    degraded = run(schedule)
+    wall = time.perf_counter() - start
+    baseline = run(None)
+    return {
+        "num_queues": num_queues,
+        "num_replicas": num_replicas,
+        "horizon": horizon,
+        "wall_clock_s": round(wall, 4),
+        "baseline_drops": round(baseline["drops_total"], 4),
+        "degraded_drops": round(degraded["drops_total"], 4),
+        "kernel_drops": round(degraded["drops_kernel"], 4),
+        "chaos_drops": round(degraded["chaos_drops"], 4),
+        "identity_violation": degraded["identity_violation"],
+    }
+
+
+def run_bench(
+    quick: bool = False, seed: int = 0, json_path: Path | None = DEFAULT_JSON
+) -> dict:
+    overhead = _empty_schedule_overhead(quick, seed)
+    outage = _outage_conservation(quick, seed)
+
+    print(
+        format_table(
+            ["variant", "wall clock (s)", "drops"],
+            [
+                ["baseline", f"{outage['wall_clock_s']:.3f}",
+                 f"{outage['baseline_drops']:.4g}"],
+                ["outage-recovery", f"{outage['wall_clock_s']:.3f}",
+                 f"{outage['degraded_drops']:.4g}"],
+            ],
+            title=(
+                f"Chaos outage-recovery (M={outage['num_queues']}, "
+                f"E={outage['num_replicas']}, T={outage['horizon']})"
+            ),
+        )
+    )
+    print(
+        f"\nempty-schedule overhead: {overhead['empty_overhead']:.2f}x "
+        f"(bit-identical={overhead['empty_bit_identical']}); "
+        f"mass identity violation: {outage['identity_violation']:.2e}"
+    )
+
+    stats = {
+        "benchmark": "chaos",
+        "mode": "quick" if quick else "full",
+        "seed": seed,
+        "empty_schedule": overhead,
+        "outage_recovery": outage,
+        "max_empty_overhead": MAX_EMPTY_OVERHEAD,
+    }
+    if json_path is not None:
+        json_path.write_text(json.dumps(stats, indent=2) + "\n")
+        print(f"[json written to {json_path}]")
+
+    assert overhead["empty_bit_identical"], (
+        "an attached empty schedule diverged from chaos=None: the "
+        "chaos layer must consume no random draws"
+    )
+    assert outage["identity_violation"] <= 1e-9, (
+        "drops_total != drops_kernel + chaos_drops: event mass was "
+        f"lost silently (max violation {outage['identity_violation']:.2e})"
+    )
+    assert outage["degraded_drops"] > outage["baseline_drops"], (
+        "the outage scenario dropped no more than the undisturbed "
+        "baseline — the degradation events are not reaching the kernel"
+    )
+    if not quick:
+        assert overhead["empty_overhead"] <= MAX_EMPTY_OVERHEAD, (
+            f"empty schedule costs {overhead['empty_overhead']:.2f}x "
+            f"(expected <= {MAX_EMPTY_OVERHEAD}x: it short-circuits "
+            "before binding any runtime state)"
+        )
+    return stats
+
+
+def test_chaos(benchmark, results_dir):
+    """pytest-benchmark entry point (full run)."""
+    from conftest import run_once
+
+    stats = run_once(benchmark, run_bench, quick=False)
+    assert stats["empty_schedule"]["empty_bit_identical"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small grid for CI smoke (skips the overhead assertion)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", type=Path, default=DEFAULT_JSON)
+    args = parser.parse_args(argv)
+    run_bench(quick=args.quick, seed=args.seed, json_path=args.json)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

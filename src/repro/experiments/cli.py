@@ -90,6 +90,29 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _parse_chaos(text: str):
+    """Parse a ``--chaos`` degradation-schedule spec at argument time,
+    so a malformed schedule is a usage error (exit 2) before any
+    simulation or pool spin-up."""
+    from repro.queueing.chaos import parse_chaos_spec
+
+    try:
+        return parse_chaos_spec(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _add_chaos_flag(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--chaos", type=_parse_chaos, default=None, metavar="SPEC",
+        help="inject a degradation schedule (repro.queueing.chaos): "
+        "';'-separated epoch-anchored events, e.g. "
+        "'outage@40-80:frac=0.1,mode=loss; flap@20-60:factor=0.5' "
+        "('links@...' needs a graph scenario); replaces any schedule "
+        "the scenario embeds",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments", description=__doc__
@@ -164,6 +187,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ps.add_argument("--seed", type=int, default=0)
     ps.add_argument("--csv", type=Path, default=None)
+    _add_chaos_flag(ps)
     _add_workers_flag(ps)
     _add_store_flag(ps)
     _add_sim_backend_flag(ps)
@@ -213,6 +237,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv", type=Path, default=None,
         help="write the windowed series as CSV",
     )
+    _add_chaos_flag(pstream)
     _add_workers_flag(pstream)
     _add_store_flag(pstream)
     _add_sim_backend_flag(pstream)
@@ -364,6 +389,7 @@ def main(argv: list[str] | None = None) -> int:
                     ("--queues", args.queues),
                     ("--runs", args.runs),
                     ("--csv", args.csv),
+                    ("--chaos", args.chaos),
                     ("--store-dir", args.store_dir),
                 )
                 if value is not None
@@ -393,6 +419,7 @@ def main(argv: list[str] | None = None) -> int:
                     num_runs=args.runs,
                     seed=args.seed,
                     context=_execution_context(args),
+                    chaos=args.chaos,
                 )
             except KeyError as exc:
                 # Unknown scenario: a usage error, not a traceback. The
@@ -402,6 +429,14 @@ def main(argv: list[str] | None = None) -> int:
                     "hint: 'scenario list' prints the catalogue",
                     file=sys.stderr,
                 )
+                return 2
+            except ValueError as exc:
+                if args.chaos is None:
+                    raise
+                # Well-formed schedule that cannot run on this scenario
+                # (e.g. link events without a topology, queue indices
+                # past M): still a usage error, caught pre-simulation.
+                print(f"error: {exc}", file=sys.stderr)
                 return 2
             _emit(result.format_table(), result, args.csv)
     elif args.command == "stream":
@@ -421,6 +456,7 @@ def main(argv: list[str] | None = None) -> int:
                 controller=args.controller,
                 seed=args.seed,
                 context=_execution_context(args),
+                chaos=args.chaos,
                 **(
                     {"max_windows": args.max_windows}
                     if args.max_windows is not None
@@ -434,6 +470,13 @@ def main(argv: list[str] | None = None) -> int:
                 "hint: 'scenario list' prints the catalogue",
                 file=sys.stderr,
             )
+            return 2
+        except ValueError as exc:
+            if args.chaos is None:
+                raise
+            # A schedule that parsed but cannot run on this scenario's
+            # environment is still a usage error, caught pre-simulation.
+            print(f"error: {exc}", file=sys.stderr)
             return 2
         _emit(result.format_table(), result, args.csv)
     elif args.command == "reproduce":

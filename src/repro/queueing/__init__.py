@@ -51,8 +51,28 @@ from repro.queueing.workloads import (
     ProfileRate,
     TraceReplayRate,
 )
+from repro.queueing.chaos import (
+    CapacityFlap,
+    CapacityProfile,
+    DegradationSchedule,
+    LinkFailure,
+    ServerOutage,
+    TopologyRewire,
+    parse_chaos_spec,
+    reroute_away,
+    water_fill,
+)
 
 __all__ = [
+    "DegradationSchedule",
+    "ServerOutage",
+    "CapacityFlap",
+    "CapacityProfile",
+    "LinkFailure",
+    "TopologyRewire",
+    "parse_chaos_spec",
+    "reroute_away",
+    "water_fill",
     "TopologySpec",
     "BatchedGraphFiniteEnv",
     "DelayModel",

@@ -45,6 +45,7 @@ from repro.utils.rng import as_generator
 
 if TYPE_CHECKING:  # import cycle: policies build on top of the queue substrate
     from repro.policies.base import UpperLevelPolicy
+    from repro.queueing.chaos import DegradationSchedule
 
 __all__ = [
     "BatchedFiniteSystemEnv",
@@ -68,6 +69,7 @@ class _BatchedQueueSystemBase:
         per_packet_randomization: bool = False,
         seed=None,
         backend: str | None = None,
+        chaos: "DegradationSchedule | None" = None,
     ) -> None:
         if num_replicas < 1:
             raise ValueError(f"num_replicas must be >= 1, got {num_replicas}")
@@ -94,6 +96,20 @@ class _BatchedQueueSystemBase:
                 )
             if self.service_rates.min() <= 0:
                 raise ValueError("service rates must be > 0")
+        if chaos is not None:
+            from repro.queueing.chaos import DegradationSchedule
+
+            if not isinstance(chaos, DegradationSchedule):
+                raise ValueError(
+                    f"chaos must be a DegradationSchedule, got {chaos!r}"
+                )
+            # Queue indices and the outage timeline are checked here so
+            # a bad schedule fails at construction; whether the
+            # environment supports topology events is only known at
+            # bind time (subclasses attach ``topology`` after this).
+            chaos._resolved_events(config.num_queues)
+        self.chaos = chaos
+        self._chaos_state = None
         self._rng = as_generator(seed)
         self._states: np.ndarray | None = None
         self._lam_modes = np.zeros(self.num_replicas, dtype=np.intp)
@@ -136,6 +152,13 @@ class _BatchedQueueSystemBase:
         """Fresh queue states and per-replica arrival modes; returns ``H_0``."""
         if seed is not None:
             self._rng = as_generator(seed)
+        if self._chaos_state is not None:
+            # Undo whatever the previous run's events left behind before
+            # rebinding, so back-to-back runs see the pristine world.
+            self.service_rates = self._chaos_state.base_service_rates.copy()
+            if self._chaos_state._pristine_topology is not None:
+                self.topology = self._chaos_state._pristine_topology
+            self._chaos_state = None
         self._states = np.full(
             (self.num_replicas, self.config.num_queues),
             self.config.initial_state,
@@ -145,6 +168,8 @@ class _BatchedQueueSystemBase:
             self.num_replicas, self._rng
         )
         self._t = 0
+        if self.chaos is not None and not self.chaos.is_empty:
+            self._chaos_state = self.chaos.bind(self)
         return self.empirical_distributions()
 
     # -- template step ----------------------------------------------------
@@ -175,28 +200,63 @@ class _BatchedQueueSystemBase:
         if self._states is None:
             raise RuntimeError("environment must be reset before use")
         self._check_rules(rules)
+        chaos = self._chaos_state
+        if chaos is not None:
+            # Degradation events anchored at this epoch fire before the
+            # dispatchers look at the world: a queue failing at t is
+            # already gone when epoch t's traffic routes. The chaos
+            # layer consumes no random draws, so the streams below are
+            # those of the undisturbed run's layout.
+            event_drops, rates_changed = chaos.begin_epoch(self, self._t)
         rates = self._frozen_rates(rules)
+        served_rates = rates
+        blackholed = None
+        if chaos is not None:
+            # Dispatchers are not told about outages — they route by the
+            # (possibly stale) snapshots, and arrival mass sent to an
+            # inactive queue is lost. Masking after the routing draw
+            # keeps every draw shape identical across backends.
+            served_rates, blackholed = chaos.mask_rates(
+                rates, self.config.delta_t
+            )
         new_states, drops = self.kernel.serve_epoch(
             self._states,
-            rates,
+            served_rates,
             self.service_rates,
             self.config.delta_t,
             self.config.buffer_size,
             self._rng,
         )
-        total_drops = drops.sum(axis=1)
-        per_queue_drops = total_drops / self.config.num_queues
+        kernel_drops = drops.sum(axis=1)
+        total_drops = kernel_drops
         self._states = new_states
         self._lam_modes = self.arrivals.step_modes_batch(
             self._lam_modes, self._rng
         )
         self._t += 1
         info = {
-            "drops_total": total_drops,
-            "drops_per_queue": per_queue_drops,
             "arrival_rates": rates,
             "t": self._t,
         }
+        if chaos is not None:
+            chaos_drops = event_drops.copy()
+            if blackholed is not None:
+                chaos_drops += blackholed
+            total_drops = kernel_drops + chaos_drops
+            info["drops_kernel"] = kernel_drops
+            info["chaos_drops"] = chaos_drops
+            info["chaos_event_drops"] = event_drops
+            info["chaos_blackholed"] = (
+                blackholed
+                if blackholed is not None
+                else np.zeros(self.num_replicas)
+            )
+            info["chaos_active"] = chaos.active.copy()
+            if rates_changed:
+                info["chaos_rates_changed"] = True
+        per_queue_drops = total_drops / self.config.num_queues
+        info["drops_total"] = total_drops
+        info["drops_per_queue"] = per_queue_drops
         rewards = -self.config.drop_penalty * per_queue_drops
         return self.empirical_distributions(), rewards, info
 

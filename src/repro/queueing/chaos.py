@@ -1,0 +1,771 @@
+"""Composable, deterministic degradation events for batched environments.
+
+The paper's Figure-6 experiment violates one modeling assumption
+(``N >> M``) and watches the policies cope; this module generalizes
+that to "the world changed under you": a
+:class:`DegradationSchedule` is a frozen list of epoch-anchored events
+— server outages/restarts, capacity flaps, link failures — applied to
+any batched environment (dense, graph, heterogeneous, delayed) under
+any registered simulation backend.
+
+Determinism contract
+--------------------
+Events are a pure function of the epoch index: applying a schedule
+consumes **no random draws**, so the random streams of a chaos run are
+the streams of the undisturbed run's layout — shard results remain
+bit-identical for any worker count, and an **empty** schedule is
+bit-identical to no schedule at all (benchmarked by
+``benchmarks/bench_chaos.py``). Both facts follow from where the layer
+hooks in: events mutate environment state *between* the kernel calls,
+and the outage mask zeroes already-drawn frozen rates instead of
+changing any draw shapes.
+
+Failure semantics (see ``docs/serving.md``)
+-------------------------------------------
+* **Server outage** (:class:`ServerOutage`): the failed queues leave
+  the ``active`` mask. Jobs queued there are either dropped
+  (*queue-loss*, ``preserve_jobs=False`` — counted in the epoch's
+  drop metrics) or water-filled into the least-loaded surviving
+  queues (*queue-preservation*, reusing
+  :func:`repro.serving.control.resize_queue_fleet`'s drain rule via
+  :func:`water_fill`; jobs that find every surviving buffer full are
+  counted as drops). Dispatchers are **not** told: the failed queue
+  reads as empty in every snapshot, so routing keeps sending traffic
+  there and that expected arrival mass is accounted as *blackholed*
+  drops — stale-information herding into dead capacity is exactly the
+  effect the chaos scenarios measure. A restart re-admits the queues,
+  empty.
+* **Capacity flap** (:class:`CapacityFlap`, :class:`CapacityProfile`):
+  per-queue service rates are modulated multiplicatively — either a
+  constant factor over an epoch interval, or an arbitrary
+  :class:`repro.queueing.workloads.ProfileRate` replayed as a
+  multiplier (the arrival-side machinery of arXiv:2012.10142 applied
+  to the service side). Factors compose; rates are always rebuilt from
+  the pristine base, so flap stacks never accumulate rounding drift.
+* **Link failure / rewiring** (:class:`LinkFailure`,
+  :class:`TopologyRewire`): on the graph backend the
+  :class:`repro.queueing.topology.TopologySpec` neighbor array is
+  swapped mid-stream. :func:`reroute_away` keeps the degree constant
+  by deterministically re-pointing severed slots at the nearest
+  surviving queues (arXiv:2312.12973's local-topology setting under
+  partial link loss). The queues themselves stay up and drain their
+  backlog; no mass is lost.
+
+Mass conservation
+-----------------
+The layer never silently deletes work: every job removed from the
+queue states by an event is either relocated within the states
+(preservation) or reported through the step's ``info`` dict
+(``chaos_event_drops`` for event-time losses, ``chaos_blackholed``
+for arrival mass routed at inactive queues, ``chaos_drops`` for their
+sum — which is included in ``drops_total``). The identity
+``drops_total == drops_kernel + chaos_drops`` is property-tested in
+``tests/test_chaos.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.queueing.topology import TopologySpec
+
+if TYPE_CHECKING:
+    from repro.queueing.arrivals import MarkovModulatedRate
+
+__all__ = [
+    "ServerOutage",
+    "CapacityFlap",
+    "CapacityProfile",
+    "LinkFailure",
+    "TopologyRewire",
+    "DegradationSchedule",
+    "ChaosState",
+    "water_fill",
+    "reroute_away",
+    "parse_chaos_spec",
+    "CHAOS_SPEC_GRAMMAR",
+]
+
+
+def water_fill(
+    states: np.ndarray,
+    jobs: np.ndarray,
+    buffer_size: int,
+    eligible: np.ndarray | None = None,
+) -> np.ndarray:
+    """Distribute ``jobs[r]`` units into the least-loaded eligible queues.
+
+    The deterministic drain rule shared by
+    :func:`repro.serving.control.resize_queue_fleet` and the
+    queue-preservation outage path: replica by replica, one unit goes to
+    every currently-lowest eligible queue (ties filled left to right)
+    until the jobs run out or every eligible buffer is full. Mutates
+    ``states`` in place and returns the per-replica overflow ``(E,)`` —
+    total mass is conserved up to exactly that overflow.
+
+    Parameters
+    ----------
+    states : ndarray
+        Queue fillings ``(E, M)``, mutated in place.
+    jobs : ndarray
+        Units to place per replica, shape ``(E,)``.
+    buffer_size : int
+        Per-queue capacity ``B``.
+    eligible : ndarray, optional
+        Boolean mask ``(M,)`` of queues allowed to receive jobs;
+        ``None`` admits every queue.
+    """
+    e = states.shape[0]
+    overflow = np.zeros(e)
+    if eligible is None:
+        cols = np.arange(states.shape[1])
+    else:
+        cols = np.flatnonzero(eligible)
+    if cols.size == 0:
+        overflow[:] = np.asarray(jobs, dtype=np.float64)
+        return overflow
+    for r in range(e):
+        row = states[r]
+        remaining = int(jobs[r])
+        while remaining > 0:
+            open_idx = cols[row[cols] < buffer_size]
+            if open_idx.size == 0:
+                overflow[r] = float(remaining)
+                break
+            fill = row[open_idx]
+            lowest = open_idx[fill == fill.min()]
+            take = min(remaining, lowest.size)
+            row[lowest[:take]] += 1
+            remaining -= take
+    return overflow
+
+
+def reroute_away(
+    topology: TopologySpec, queues: np.ndarray
+) -> TopologySpec:
+    """A same-degree topology with every link to ``queues`` re-pointed.
+
+    Each severed neighbor slot is deterministically replaced by the
+    surviving queue closest (circular index distance, ties to the lower
+    index) to the row's surviving neighborhood — dispatchers keep local
+    routing where possible and fall back to the nearest reachable
+    capacity otherwise. Requires at least ``degree`` surviving queues so
+    rows can stay duplicate-free.
+    """
+    failed = np.unique(np.asarray(queues, dtype=np.int64))
+    if failed.size == 0:
+        return topology
+    m = topology.num_queues
+    if failed.min() < 0 or failed.max() >= m:
+        raise ValueError(f"queue indices must lie in [0, {m - 1}]")
+    surviving = np.setdiff1d(np.arange(m, dtype=np.int64), failed)
+    if surviving.size < topology.degree:
+        raise ValueError(
+            f"cannot reroute: only {surviving.size} queues survive but "
+            f"every dispatcher needs {topology.degree} distinct neighbors"
+        )
+    failed_set = set(int(q) for q in failed)
+    neighbors = topology.neighbors.copy()
+    for row in neighbors:
+        bad = [i for i, q in enumerate(row) if int(q) in failed_set]
+        if not bad:
+            continue
+        kept = [int(q) for q in row if int(q) not in failed_set]
+        anchors = kept if kept else [int(row[0])]
+        # Candidates ranked by circular distance to the nearest kept
+        # neighbor (or the original first slot when nothing survives
+        # locally); ties break toward the lower queue index.
+        diff = np.abs(surviving[:, None] - np.asarray(anchors)[None, :])
+        dist = np.minimum(diff, m - diff).min(axis=1)
+        order = surviving[np.lexsort((surviving, dist))]
+        taken = set(kept)
+        fresh = (int(q) for q in order if int(q) not in taken)
+        for i in bad:
+            row[i] = next(fresh)
+    return TopologySpec(
+        kind=f"{topology.kind}-rerouted", num_queues=m, neighbors=neighbors
+    )
+
+
+def _check_epoch(epoch: int, what: str) -> None:
+    if int(epoch) < 0:
+        raise ValueError(f"{what} must be >= 0, got {epoch}")
+
+
+def _check_selection(queues, fraction, what: str) -> None:
+    if queues is not None and fraction is not None:
+        raise ValueError(f"{what}: pass queues or fraction, not both")
+    if queues is not None:
+        sel = tuple(int(q) for q in queues)
+        if not sel:
+            raise ValueError(f"{what}: queues must be non-empty")
+        if len(set(sel)) != len(sel):
+            raise ValueError(f"{what}: queues must be unique")
+        if min(sel) < 0:
+            raise ValueError(f"{what}: queue indices must be >= 0")
+    if fraction is not None and not 0.0 < float(fraction) <= 1.0:
+        raise ValueError(
+            f"{what}: fraction must lie in (0, 1], got {fraction}"
+        )
+
+
+def _resolve_queues(
+    queues: tuple[int, ...] | None,
+    fraction: float | None,
+    num_queues: int,
+    what: str,
+) -> np.ndarray:
+    """Concrete sorted queue indices for one event at fleet size ``M``."""
+    if queues is not None:
+        sel = np.unique(np.asarray(queues, dtype=np.intp))
+        if sel.max() >= num_queues:
+            raise ValueError(
+                f"{what} names queue {int(sel.max())} but the fleet has "
+                f"{num_queues} queues"
+            )
+        return sel
+    count = max(1, round(float(fraction) * num_queues))
+    return np.arange(min(count, num_queues), dtype=np.intp)
+
+
+@dataclass(frozen=True)
+class ServerOutage:
+    """Queues fail at ``epoch`` and (optionally) restart empty later.
+
+    Exactly one of ``queues`` (explicit indices) or ``fraction`` (the
+    first ``max(1, round(f·M))`` queues, resolved at bind time so
+    ``--queues`` overrides stay valid) selects the victims.
+    ``preserve_jobs`` picks queue-preservation over queue-loss.
+    """
+
+    epoch: int
+    queues: tuple[int, ...] | None = None
+    fraction: float | None = None
+    restart_epoch: int | None = None
+    preserve_jobs: bool = False
+
+    def __post_init__(self) -> None:
+        _check_epoch(self.epoch, "outage epoch")
+        if self.queues is None and self.fraction is None:
+            raise ValueError("ServerOutage needs queues or fraction")
+        _check_selection(self.queues, self.fraction, "ServerOutage")
+        if (
+            self.restart_epoch is not None
+            and self.restart_epoch <= self.epoch
+        ):
+            raise ValueError(
+                f"restart_epoch {self.restart_epoch} must come after the "
+                f"outage epoch {self.epoch}"
+            )
+
+
+@dataclass(frozen=True)
+class CapacityFlap:
+    """Service rates of the selected queues scale by ``factor`` over
+    ``[epoch, end_epoch)`` (``end_epoch=None`` holds it forever).
+
+    ``queues=None`` with ``fraction=None`` flaps the whole fleet.
+    Overlapping flaps multiply; rates are rebuilt from the pristine
+    base every epoch, so stacking never drifts.
+    """
+
+    epoch: int
+    factor: float
+    queues: tuple[int, ...] | None = None
+    fraction: float | None = None
+    end_epoch: int | None = None
+
+    def __post_init__(self) -> None:
+        _check_epoch(self.epoch, "flap epoch")
+        if not self.factor > 0.0:
+            raise ValueError(
+                f"flap factor must be > 0 (rates stay positive), got "
+                f"{self.factor}"
+            )
+        _check_selection(self.queues, self.fraction, "CapacityFlap")
+        if self.end_epoch is not None and self.end_epoch <= self.epoch:
+            raise ValueError(
+                f"end_epoch {self.end_epoch} must come after epoch "
+                f"{self.epoch}"
+            )
+
+
+@dataclass(frozen=True)
+class CapacityProfile:
+    """Replay a :class:`~repro.queueing.workloads.ProfileRate` as a
+    service-rate *multiplier* from ``epoch`` on.
+
+    The multiplier at epoch ``t >= epoch`` is
+    ``profile.rate_at(t - epoch)`` — the existing deterministic
+    arrival-profile interface applied to the service side; levels must
+    be positive.
+    """
+
+    profile: "MarkovModulatedRate"
+    queues: tuple[int, ...] | None = None
+    fraction: float | None = None
+    epoch: int = 0
+
+    def __post_init__(self) -> None:
+        _check_epoch(self.epoch, "profile epoch")
+        if not hasattr(self.profile, "rate_at"):
+            raise ValueError(
+                "CapacityProfile needs a deterministic profile exposing "
+                f"rate_at(t) (a ProfileRate), got {self.profile!r}"
+            )
+        levels = np.asarray(self.profile.levels, dtype=np.float64)
+        if levels.min() <= 0.0:
+            raise ValueError(
+                "capacity multipliers must stay > 0; the profile has "
+                f"min level {levels.min()}"
+            )
+        _check_selection(self.queues, self.fraction, "CapacityProfile")
+
+
+@dataclass(frozen=True)
+class LinkFailure:
+    """All dispatcher links to the selected queues fail at ``epoch``
+    (and are restored at ``restore_epoch``); graph backend only.
+
+    Severed neighbor slots are re-pointed via :func:`reroute_away`;
+    the queues keep serving their backlog.
+    """
+
+    epoch: int
+    queues: tuple[int, ...] | None = None
+    fraction: float | None = None
+    restore_epoch: int | None = None
+
+    def __post_init__(self) -> None:
+        _check_epoch(self.epoch, "link-failure epoch")
+        if self.queues is None and self.fraction is None:
+            raise ValueError("LinkFailure needs queues or fraction")
+        _check_selection(self.queues, self.fraction, "LinkFailure")
+        if (
+            self.restore_epoch is not None
+            and self.restore_epoch <= self.epoch
+        ):
+            raise ValueError(
+                f"restore_epoch {self.restore_epoch} must come after the "
+                f"failure epoch {self.epoch}"
+            )
+
+
+@dataclass(frozen=True)
+class TopologyRewire:
+    """Swap the access graph for an explicit topology at ``epoch``;
+    graph backend only. Degree may change (the slot draw adapts)."""
+
+    epoch: int
+    topology: TopologySpec
+
+    def __post_init__(self) -> None:
+        _check_epoch(self.epoch, "rewire epoch")
+        if not isinstance(self.topology, TopologySpec):
+            raise ValueError(
+                f"TopologyRewire needs a TopologySpec, got "
+                f"{self.topology!r}"
+            )
+
+
+_TOPOLOGY_EVENTS = (LinkFailure, TopologyRewire)
+_CAPACITY_EVENTS = (CapacityFlap, CapacityProfile)
+_EVENT_TYPES = (ServerOutage, *_CAPACITY_EVENTS, *_TOPOLOGY_EVENTS)
+
+
+@dataclass(frozen=True)
+class DegradationSchedule:
+    """An immutable, epoch-anchored list of degradation events.
+
+    The schedule is part of the environment's construction kwargs, so
+    it fingerprints into :mod:`repro.store` shard keys exactly like an
+    arrival process or a topology — chaos sweeps cache and resume
+    bit-identically.
+    """
+
+    events: tuple = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        events = tuple(self.events)
+        for ev in events:
+            if not isinstance(ev, _EVENT_TYPES):
+                names = ", ".join(t.__name__ for t in _EVENT_TYPES)
+                raise ValueError(
+                    f"unknown degradation event {ev!r}; expected one of "
+                    f"{names}"
+                )
+        object.__setattr__(self, "events", events)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.events
+
+    def validate_for(
+        self, num_queues: int | None = None, supports_topology: bool = False
+    ) -> None:
+        """Fail fast — before any simulation — on schedules that cannot
+        bind: topology events on a non-graph environment, queue indices
+        or outage timelines that do not fit a fleet of ``num_queues``.
+        """
+        if not supports_topology:
+            for ev in self.events:
+                if isinstance(ev, _TOPOLOGY_EVENTS):
+                    raise ValueError(
+                        f"{type(ev).__name__} events need the graph "
+                        "environment (a scenario with a topology); this "
+                        "environment has none"
+                    )
+        if num_queues is not None:
+            self._resolved_events(int(num_queues))
+
+    # -- bind-time resolution -------------------------------------------
+    def _resolved_events(self, m: int) -> list[tuple]:
+        """``(event, resolved queue indices | None)`` pairs, validating
+        selections and the outage timeline against fleet size ``m``."""
+        resolved: list[tuple] = []
+        for ev in self.events:
+            idx = None
+            if isinstance(ev, TopologyRewire):
+                if ev.topology.num_queues != m:
+                    raise ValueError(
+                        f"rewire topology covers {ev.topology.num_queues} "
+                        f"queues, the fleet has {m}"
+                    )
+            elif ev.queues is not None or ev.fraction is not None:
+                idx = _resolve_queues(
+                    ev.queues, ev.fraction, m, type(ev).__name__
+                )
+            resolved.append((ev, idx))
+        # Replay the outage timeline: the fleet must never go fully dark
+        # (the frozen-rate model needs somewhere for service to happen).
+        timeline: dict[int, list[tuple[str, np.ndarray]]] = {}
+        for ev, idx in resolved:
+            if not isinstance(ev, ServerOutage):
+                continue
+            timeline.setdefault(ev.epoch, []).append(("fail", idx))
+            if ev.restart_epoch is not None:
+                timeline.setdefault(ev.restart_epoch, []).append(
+                    ("restart", idx)
+                )
+        active = np.ones(m, dtype=bool)
+        for t in sorted(timeline):
+            for kind, idx in timeline[t]:
+                active[idx] = kind == "restart"
+            if not active.any():
+                raise ValueError(
+                    f"outage schedule kills the whole fleet at epoch {t}; "
+                    "at least one queue must stay active"
+                )
+        return resolved
+
+    def bind(self, env) -> "ChaosState":
+        """Per-environment runtime state (called by ``env.reset``)."""
+        return ChaosState(self, env)
+
+
+class ChaosState:
+    """Mutable per-run state of one bound :class:`DegradationSchedule`.
+
+    Holds the ``active`` mask, the pristine service rates and topology,
+    and the epoch-indexed discrete-event table. Rebuilt on every
+    ``env.reset`` — never shared across environments and never part of
+    a store key (the immutable schedule is what fingerprints).
+    """
+
+    def __init__(self, schedule: DegradationSchedule, env) -> None:
+        m = env.config.num_queues
+        self.schedule = schedule
+        self.active = np.ones(m, dtype=bool)
+        self.base_service_rates = np.asarray(
+            env.service_rates, dtype=np.float64
+        ).copy()
+        self._all_active = True
+        self._mult = np.ones(m)
+        self._pristine_topology = getattr(env, "topology", None)
+        self._link_mask = np.zeros(m, dtype=bool)
+        self._capacity: list[tuple] = []
+        self._discrete: dict[int, list[tuple[str, object, object]]] = {}
+        resolved = schedule._resolved_events(m)
+        for ev, idx in resolved:
+            if isinstance(ev, _TOPOLOGY_EVENTS) and (
+                self._pristine_topology is None
+            ):
+                raise ValueError(
+                    f"{type(ev).__name__} events need the graph "
+                    f"environment, got {type(env).__name__}"
+                )
+            if isinstance(ev, ServerOutage):
+                self._discrete.setdefault(ev.epoch, []).append(
+                    ("fail", ev, idx)
+                )
+                if ev.restart_epoch is not None:
+                    self._discrete.setdefault(ev.restart_epoch, []).append(
+                        ("restart", ev, idx)
+                    )
+            elif isinstance(ev, LinkFailure):
+                self._discrete.setdefault(ev.epoch, []).append(
+                    ("links-fail", ev, idx)
+                )
+                if ev.restore_epoch is not None:
+                    self._discrete.setdefault(ev.restore_epoch, []).append(
+                        ("links-restore", ev, idx)
+                    )
+            elif isinstance(ev, TopologyRewire):
+                self._discrete.setdefault(ev.epoch, []).append(
+                    ("rewire", ev, None)
+                )
+            else:  # capacity modulation, evaluated every epoch
+                self._capacity.append((ev, idx))
+
+    # -- per-epoch hooks -------------------------------------------------
+    def begin_epoch(self, env, t: int) -> tuple[np.ndarray, bool]:
+        """Apply every event anchored at epoch ``t``.
+
+        Mutates the environment in place (states, service rates,
+        topology) and returns ``(event_drops, rates_changed)``:
+        per-replica job mass lost *at* the events (queue-loss mass plus
+        preservation overflow) and whether ``env.service_rates``
+        changed this epoch.
+        """
+        event_drops = np.zeros(env.num_replicas)
+        for kind, ev, idx in self._discrete.get(t, ()):
+            if kind == "fail":
+                newly = idx[self.active[idx]]
+                if newly.size:
+                    self.active[newly] = False
+                    self._all_active = False
+                    moved = env._states[:, newly].sum(axis=1)
+                    env._states[:, newly] = 0
+                    if ev.preserve_jobs:
+                        event_drops += water_fill(
+                            env._states,
+                            moved,
+                            env.config.buffer_size,
+                            eligible=self.active,
+                        )
+                    else:
+                        event_drops += moved.astype(np.float64)
+            elif kind == "restart":
+                self.active[idx] = True
+                self._all_active = bool(self.active.all())
+            elif kind == "links-fail":
+                self._link_mask[idx] = True
+                env.topology = reroute_away(
+                    self._pristine_topology, np.flatnonzero(self._link_mask)
+                )
+            elif kind == "links-restore":
+                self._link_mask[idx] = False
+                failed = np.flatnonzero(self._link_mask)
+                env.topology = (
+                    reroute_away(self._pristine_topology, failed)
+                    if failed.size
+                    else self._pristine_topology
+                )
+            else:  # rewire
+                env.topology = ev.topology
+        rates_changed = False
+        if self._capacity:
+            mult = np.ones(self._mult.size)
+            for ev, idx in self._capacity:
+                if isinstance(ev, CapacityFlap):
+                    if ev.epoch <= t and (
+                        ev.end_epoch is None or t < ev.end_epoch
+                    ):
+                        factor = ev.factor
+                    else:
+                        continue
+                else:  # CapacityProfile
+                    if t < ev.epoch:
+                        continue
+                    factor = float(ev.profile.rate_at(t - ev.epoch))
+                if idx is None:
+                    mult *= factor
+                else:
+                    mult[idx] *= factor
+            if not np.array_equal(mult, self._mult):
+                self._mult = mult
+                env.service_rates = self.base_service_rates * mult
+                rates_changed = True
+        return event_drops, rates_changed
+
+    def mask_rates(
+        self, rates: np.ndarray, delta_t: float
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Zero the frozen rates at inactive queues for the serve stage.
+
+        Returns ``(rates_for_serve, blackholed)`` where ``blackholed``
+        is the per-replica expected arrival mass ``(E,)`` routed at
+        inactive queues this epoch (``None`` when the fleet is whole) —
+        the frozen-rate model counts arrivals in expectation, so the
+        blackholed mass is accounted the same way.
+        """
+        if self._all_active:
+            return rates, None
+        inactive = ~self.active
+        blackholed = rates[:, inactive].sum(axis=1) * delta_t
+        masked = rates.copy()
+        masked[:, inactive] = 0.0
+        return masked, blackholed
+
+
+# ---------------------------------------------------------------------------
+# The CLI mini-grammar (``--chaos``)
+# ---------------------------------------------------------------------------
+CHAOS_SPEC_GRAMMAR = """\
+events are ';'-separated:  KIND@START[-END][:key=value,...]
+  outage@40-80:frac=0.1,mode=loss     fail queues at 40, restart at 80
+  outage@40:queues=0..4+9,mode=preserve
+  flap@20-60:factor=0.5,frac=0.5      halve service rates over [20, 60)
+  links@30-90:frac=0.1                sever links (graph scenarios only)
+keys: queues=A..B+C (index set), frac=F (first round(F*M) queues),
+      mode=loss|preserve (outage), factor=X (flap; > 0)\
+"""
+
+
+def _parse_queue_set(text: str, what: str) -> tuple[int, ...]:
+    out: list[int] = []
+    for part in text.split("+"):
+        part = part.strip()
+        if ".." in part:
+            lo, _, hi = part.partition("..")
+            try:
+                lo_i, hi_i = int(lo), int(hi)
+            except ValueError:
+                raise ValueError(
+                    f"{what}: bad queue range {part!r} (want A..B)"
+                ) from None
+            if hi_i < lo_i:
+                raise ValueError(
+                    f"{what}: empty queue range {part!r}"
+                )
+            out.extend(range(lo_i, hi_i + 1))
+        else:
+            try:
+                out.append(int(part))
+            except ValueError:
+                raise ValueError(
+                    f"{what}: bad queue index {part!r}"
+                ) from None
+    return tuple(out)
+
+
+def _parse_event(text: str) -> object:
+    head, _, tail = text.partition(":")
+    kind, _, span = head.partition("@")
+    kind = kind.strip().lower()
+    if not span:
+        raise ValueError(
+            f"event {text!r} is missing its '@EPOCH' anchor "
+            f"(grammar:\n{CHAOS_SPEC_GRAMMAR})"
+        )
+    start_s, dash, end_s = span.partition("-")
+    try:
+        start = int(start_s)
+        end = int(end_s) if dash else None
+    except ValueError:
+        raise ValueError(
+            f"event {text!r}: epochs must be integers, got {span!r}"
+        ) from None
+    opts: dict[str, str] = {}
+    if tail.strip():
+        for pair in tail.split(","):
+            key, eq, value = pair.partition("=")
+            if not eq or not value.strip():
+                raise ValueError(
+                    f"event {text!r}: malformed option {pair!r} "
+                    "(want key=value)"
+                )
+            opts[key.strip().lower()] = value.strip()
+    queues = fraction = None
+    if "queues" in opts and "frac" in opts:
+        raise ValueError(f"event {text!r}: pass queues or frac, not both")
+    if "queues" in opts:
+        queues = _parse_queue_set(opts.pop("queues"), text)
+    if "frac" in opts:
+        try:
+            fraction = float(opts.pop("frac"))
+        except ValueError:
+            raise ValueError(
+                f"event {text!r}: frac must be a number"
+            ) from None
+    if kind == "outage":
+        mode = opts.pop("mode", "loss")
+        if mode not in ("loss", "preserve"):
+            raise ValueError(
+                f"event {text!r}: mode must be 'loss' or 'preserve', "
+                f"got {mode!r}"
+            )
+        if opts:
+            raise ValueError(
+                f"event {text!r}: unknown option(s) {', '.join(opts)}"
+            )
+        if queues is None and fraction is None:
+            raise ValueError(
+                f"event {text!r}: an outage needs queues=... or frac=..."
+            )
+        return ServerOutage(
+            epoch=start,
+            queues=queues,
+            fraction=fraction,
+            restart_epoch=end,
+            preserve_jobs=(mode == "preserve"),
+        )
+    if kind == "flap":
+        if "factor" not in opts:
+            raise ValueError(f"event {text!r}: a flap needs factor=...")
+        try:
+            factor = float(opts.pop("factor"))
+        except ValueError:
+            raise ValueError(
+                f"event {text!r}: factor must be a number"
+            ) from None
+        if opts:
+            raise ValueError(
+                f"event {text!r}: unknown option(s) {', '.join(opts)}"
+            )
+        return CapacityFlap(
+            epoch=start,
+            factor=factor,
+            queues=queues,
+            fraction=fraction,
+            end_epoch=end,
+        )
+    if kind == "links":
+        if opts:
+            raise ValueError(
+                f"event {text!r}: unknown option(s) {', '.join(opts)}"
+            )
+        if queues is None and fraction is None:
+            raise ValueError(
+                f"event {text!r}: a link failure needs queues=... or "
+                "frac=..."
+            )
+        return LinkFailure(
+            epoch=start, queues=queues, fraction=fraction, restore_epoch=end
+        )
+    raise ValueError(
+        f"unknown event kind {kind!r} in {text!r}; expected outage, flap "
+        f"or links (grammar:\n{CHAOS_SPEC_GRAMMAR})"
+    )
+
+
+def parse_chaos_spec(text: str) -> DegradationSchedule:
+    """Parse the ``--chaos`` mini-grammar into a schedule.
+
+    Raises :class:`ValueError` with a pointed message (including the
+    grammar) on any malformed input — the CLI surfaces that as a usage
+    error (exit 2) before any simulation starts.
+    """
+    events = []
+    for chunk in text.split(";"):
+        chunk = chunk.strip()
+        if chunk:
+            events.append(_parse_event(chunk))
+    if not events:
+        raise ValueError(
+            f"empty chaos spec {text!r} (grammar:\n{CHAOS_SPEC_GRAMMAR})"
+        )
+    return DegradationSchedule(tuple(events))

@@ -79,6 +79,7 @@ class BatchedDelayedFiniteEnv(_BatchedQueueSystemBase):
         per_packet_randomization: bool = True,
         seed=None,
         backend: str | None = None,
+        chaos=None,
     ) -> None:
         if not per_packet_randomization:
             raise ValueError(
@@ -93,6 +94,7 @@ class BatchedDelayedFiniteEnv(_BatchedQueueSystemBase):
             per_packet_randomization=True,
             seed=seed,
             backend=backend,
+            chaos=chaos,
         )
         self.delay_model = (
             delay_model if delay_model is not None else DeterministicDelay(0)
@@ -121,7 +123,30 @@ class BatchedDelayedFiniteEnv(_BatchedQueueSystemBase):
             )
         if not self._snapshots:
             raise RuntimeError("environment must be reset before use")
-        return self._snapshots[max(len(self._snapshots) - 1 - age, 0)]
+        snap = self._snapshots[max(len(self._snapshots) - 1 - age, 0)]
+        if snap.shape[1] != self.config.num_queues:
+            # The ring still holds snapshots taken before the fleet was
+            # mutated (e.g. resize_queue_fleet changed M) — routing
+            # against a stale-shaped view would corrupt the gather.
+            raise RuntimeError(
+                f"snapshot ring holds {snap.shape[1]}-queue snapshots but "
+                f"the fleet now has {self.config.num_queues} queues; call "
+                "rebuild_snapshots() after mutating the fleet geometry"
+            )
+        return snap
+
+    def rebuild_snapshots(self) -> None:
+        """Restart snapshot history from the current state.
+
+        Fleet-geometry mutations (a queue-count resize) invalidate every
+        buffered ``(E, M)`` snapshot; this drops them and re-seeds the
+        ring with the current state, as if the system had just synced.
+        Delay history (regimes) is untouched.
+        """
+        if self._states is None:
+            raise RuntimeError("environment must be reset before use")
+        self._snapshots.clear()
+        self._snapshots.append(self._states.copy())
 
     def reset(self, seed=None) -> np.ndarray:
         hist = super().reset(seed)

@@ -196,6 +196,7 @@ class BatchedGraphFiniteEnv(_BatchedQueueSystemBase):
         per_packet_randomization: bool = False,
         seed=None,
         backend: str | None = None,
+        chaos=None,
     ) -> None:
         if topology.num_queues != config.num_queues:
             raise ValueError(
@@ -216,6 +217,7 @@ class BatchedGraphFiniteEnv(_BatchedQueueSystemBase):
             per_packet_randomization=per_packet_randomization,
             seed=seed,
             backend=backend,
+            chaos=chaos,
         )
         self.topology = topology
 

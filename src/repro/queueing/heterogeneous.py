@@ -191,6 +191,7 @@ class BatchedHeterogeneousFiniteEnv(_BatchedQueueSystemBase):
         per_packet_randomization: bool = False,
         seed=None,
         backend: str | None = None,
+        chaos=None,
     ) -> None:
         classes = spec.assign_classes(config.num_queues)
         super().__init__(
@@ -201,6 +202,7 @@ class BatchedHeterogeneousFiniteEnv(_BatchedQueueSystemBase):
             per_packet_randomization=per_packet_randomization,
             seed=seed,
             backend=backend,
+            chaos=chaos,
         )
         self.spec = spec
         self.classes = classes

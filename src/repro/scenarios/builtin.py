@@ -1,6 +1,6 @@
 """The built-in scenario catalogue.
 
-Thirteen workloads, registered on import:
+Sixteen workloads, registered on import:
 
 * ``paper-baseline`` — the paper's own Figure-5 setting: homogeneous
   servers, two-level Markov-modulated arrivals, MF vs JSQ(2) vs RND.
@@ -36,6 +36,15 @@ Thirteen workloads, registered on import:
   (:class:`repro.queueing.delays.MarkovModulatedDelay`), generalizing
   the paper's fixed ``Δt``; simulated by
   :class:`repro.queueing.delayed_env.BatchedDelayedFiniteEnv`.
+* ``outage-recovery`` / ``capacity-flap`` / ``link-failure-local`` —
+  degradation events (:mod:`repro.queueing.chaos`): a slice of the
+  fleet fails and later restarts (queue-loss semantics, dispatchers
+  not told — stale-information herding), service rates flap through
+  two half-capacity windows, and on the ring topology all links to a
+  block of queues fail and are rerouted around (arXiv:2312.12973's
+  local topologies under partial link loss). The paper's Fig-6
+  assumption-violation experiment generalized from "synced ages" to
+  "the world changed under you".
 
 Default grids are bench scale (a laptop regenerates any scenario in
 minutes); pass ``--queues`` / ``--runs`` / ``--delta-ts`` for
@@ -86,6 +95,18 @@ __all__ = [
     "diurnal_arrival_process",
     "flash_crowd_arrival_process",
     "stochastic_delay_model",
+    "OUTAGE_FRACTION",
+    "OUTAGE_START_TIME",
+    "OUTAGE_RESTART_TIME",
+    "FLAP_FACTOR",
+    "FLAP_FRACTION",
+    "FLAP_WINDOWS",
+    "LINK_FAIL_FRACTION",
+    "LINK_FAIL_START_TIME",
+    "LINK_FAIL_RESTORE_TIME",
+    "outage_recovery_schedule",
+    "capacity_flap_schedule",
+    "link_failure_schedule",
 ]
 
 _DEFAULT_DELTA_TS = (1.0, 3.0, 5.0, 7.0, 10.0)
@@ -639,6 +660,177 @@ register_scenario(
         build_env_kwargs=_adaptive_flash_env_kwargs,
         build_controllers=_adaptive_flash_controllers,
         tags=("streaming", "adaptive", "control", "stress"),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# Chaos / degradation scenarios (repro.queueing.chaos)
+# ---------------------------------------------------------------------------
+#: Degradation knobs, fixed so the scenario names always denote the
+#: same failure story. Event anchors are in model *time* units (like
+#: the flash-crowd spike): the builders convert to epochs with the
+#: sweep cell's Δt, so the outage hits at the same model time for
+#: every synchronization delay — and well inside the ~500-time-unit
+#: evaluation episodes (``resolved_eval_length``). Victim sets are
+#: *fractions* of the fleet so ``--queues`` overrides stay valid.
+OUTAGE_FRACTION = 0.1  # 10% of the fleet fails (queue-loss semantics)
+OUTAGE_START_TIME = 150.0  # failure, in time units
+OUTAGE_RESTART_TIME = 300.0  # restart (queues come back empty)
+FLAP_FACTOR = 0.5  # service rates halve while a flap window is open
+FLAP_FRACTION = 0.5  # ... on half the fleet
+FLAP_WINDOWS = ((100.0, 200.0), (250.0, 350.0))  # two chained windows
+LINK_FAIL_FRACTION = 0.1  # links to 10% of the queues are severed
+LINK_FAIL_START_TIME = 150.0
+LINK_FAIL_RESTORE_TIME = 300.0
+
+
+def _time_to_epoch(t: float, delta_t: float, after: int = 0) -> int:
+    """Epoch anchor for model time ``t``, strictly past ``after``."""
+    if delta_t <= 0:
+        raise ValueError(f"delta_t must be > 0, got {delta_t}")
+    return max(after + 1, round(t / delta_t))
+
+
+def outage_recovery_schedule(delta_t: float) -> "DegradationSchedule":
+    """10% of the fleet fails at t=150 (jobs lost) and restarts at t=300.
+
+    Queue-loss semantics on purpose: the restarted queues come back
+    empty, and until then the dispatchers — who are not told — keep
+    herding traffic into queues that read as empty. How much mass each
+    policy blackholes is the scenario's ranking signal.
+    """
+    from repro.queueing.chaos import DegradationSchedule, ServerOutage
+
+    start = _time_to_epoch(OUTAGE_START_TIME, delta_t)
+    return DegradationSchedule(
+        (
+            ServerOutage(
+                epoch=start,
+                fraction=OUTAGE_FRACTION,
+                restart_epoch=_time_to_epoch(
+                    OUTAGE_RESTART_TIME, delta_t, after=start
+                ),
+                preserve_jobs=False,
+            ),
+        )
+    )
+
+
+def capacity_flap_schedule(delta_t: float) -> "DegradationSchedule":
+    """Half the fleet serves at half rate through two chained windows.
+
+    Two disjoint windows (not one) so the compounding path — degrade,
+    recover, degrade again — is exercised; rates are rebuilt from the
+    pristine base each epoch, so the second recovery is exact.
+    """
+    from repro.queueing.chaos import CapacityFlap, DegradationSchedule
+
+    events = []
+    for start_t, end_t in FLAP_WINDOWS:
+        start = _time_to_epoch(start_t, delta_t)
+        events.append(
+            CapacityFlap(
+                epoch=start,
+                factor=FLAP_FACTOR,
+                fraction=FLAP_FRACTION,
+                end_epoch=_time_to_epoch(end_t, delta_t, after=start),
+            )
+        )
+    return DegradationSchedule(tuple(events))
+
+
+def link_failure_schedule(delta_t: float) -> "DegradationSchedule":
+    """All links to 10% of the queues fail at t=150, restored at t=300.
+
+    The queues stay up and drain their backlog; severed neighbor slots
+    are re-pointed at the nearest surviving queues (degree preserved),
+    so no mass is lost — the cost shows up as load concentration on
+    the rerouted neighborhoods.
+    """
+    from repro.queueing.chaos import DegradationSchedule, LinkFailure
+
+    start = _time_to_epoch(LINK_FAIL_START_TIME, delta_t)
+    return DegradationSchedule(
+        (
+            LinkFailure(
+                epoch=start,
+                fraction=LINK_FAIL_FRACTION,
+                restore_epoch=_time_to_epoch(
+                    LINK_FAIL_RESTORE_TIME, delta_t, after=start
+                ),
+            ),
+        )
+    )
+
+
+def _outage_env_kwargs(config: SystemConfig) -> dict[str, object]:
+    return {
+        "per_packet_randomization": True,
+        "chaos": outage_recovery_schedule(config.delta_t),
+    }
+
+
+def _flap_env_kwargs(config: SystemConfig) -> dict[str, object]:
+    return {
+        "per_packet_randomization": True,
+        "chaos": capacity_flap_schedule(config.delta_t),
+    }
+
+
+def _link_failure_env_kwargs(config: SystemConfig) -> dict[str, object]:
+    kwargs = _ring_env_kwargs(config)
+    kwargs["chaos"] = link_failure_schedule(config.delta_t)
+    return kwargs
+
+
+register_scenario(
+    ScenarioSpec(
+        name="outage-recovery",
+        description=(
+            f"{OUTAGE_FRACTION:.0%} of the fleet fails at "
+            f"t={OUTAGE_START_TIME:g} (jobs lost, dispatchers not told) "
+            f"and restarts at t={OUTAGE_RESTART_TIME:g}"
+        ),
+        base_config=paper_system_config(num_queues=100),
+        delta_ts=_DEFAULT_DELTA_TS,
+        num_runs=5,
+        build_policies=_static_policies,
+        build_env_kwargs=_outage_env_kwargs,
+        tags=("chaos", "stress"),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="capacity-flap",
+        description=(
+            f"Service rates of {FLAP_FRACTION:.0%} of the fleet flap to "
+            f"{FLAP_FACTOR:g}x through two chained degradation windows"
+        ),
+        base_config=paper_system_config(num_queues=100),
+        delta_ts=_DEFAULT_DELTA_TS,
+        num_runs=5,
+        build_policies=_static_policies,
+        build_env_kwargs=_flap_env_kwargs,
+        tags=("chaos", "stress"),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="link-failure-local",
+        description=(
+            f"Ring topology: links to {LINK_FAIL_FRACTION:.0%} of the "
+            f"queues fail at t={LINK_FAIL_START_TIME:g} and reroute to "
+            "the nearest surviving neighbors"
+        ),
+        base_config=paper_system_config(num_queues=100),
+        delta_ts=_DEFAULT_DELTA_TS,
+        num_runs=5,
+        build_policies=_static_policies,
+        env_cls=BatchedGraphFiniteEnv,
+        build_env_kwargs=_link_failure_env_kwargs,
+        tags=("chaos", "topology", "related-work"),
     )
 )
 

@@ -23,6 +23,7 @@ from repro.utils.tables import format_table, series_to_csv
 if TYPE_CHECKING:
     from repro.execution import ExecutionContext
     from repro.experiments.runner import MonteCarloResult
+    from repro.queueing.chaos import DegradationSchedule
     from repro.store.store import ExperimentStore
 
 __all__ = ["ScenarioSweepResult", "run_scenario"]
@@ -92,6 +93,7 @@ def run_scenario(
     store: "ExperimentStore | None" = None,
     sim_backend: str | None = None,
     context: "ExecutionContext | None" = None,
+    chaos: "DegradationSchedule | None" = None,
 ) -> ScenarioSweepResult:
     """Evaluate one registered scenario over its delay grid.
 
@@ -105,6 +107,13 @@ def run_scenario(
         (``num_queues`` rescales ``N`` through the spec's client rule).
     seed:
         Master seed of every sweep cell's replica streams.
+    chaos:
+        Optional :class:`repro.queueing.chaos.DegradationSchedule`
+        injected into every sweep cell's environment (replacing any
+        schedule the scenario itself embeds). The schedule enters the
+        content-addressed shard keys through the environment kwargs, so
+        chaos sweeps cache and resume like any other; it is validated
+        against the scenario's environment before any cell runs.
     context:
         :class:`repro.execution.ExecutionContext` with the execution
         knobs — ``workers`` (process count of the shared
@@ -138,6 +147,14 @@ def run_scenario(
         config = spec.config_for(dt, num_queues=num_queues)
         policies = spec.build_policies(config)
         env_kwargs = spec.env_kwargs_for(config)
+        if chaos is not None:
+            # Fail fast, before the pool spins up: topology events need
+            # the graph environment, and queue indices must fit M.
+            chaos.validate_for(
+                num_queues=config.num_queues,
+                supports_topology="topology" in env_kwargs,
+            )
+            env_kwargs = {**env_kwargs, "chaos": chaos}
         for policy_name, policy in policies.items():
             requests.append(
                 EvalRequest(

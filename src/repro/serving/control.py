@@ -62,6 +62,7 @@ from repro.queueing.batched_env import (
     BatchedFiniteSystemEnv,
     _BatchedQueueSystemBase,
 )
+from repro.queueing.chaos import water_fill
 
 if TYPE_CHECKING:
     from repro.config import SystemConfig
@@ -521,13 +522,23 @@ def resize_queue_fleet(
     ``M_old / M_new``: the *system-wide* offered load ``M·λ`` is held
     fixed, so scaling genuinely relieves (or concentrates) per-queue
     pressure instead of being cancelled by the frozen-rate model's
-    ``λ_j ∝ M`` scaling. Derived cosmetic attributes of the profile
-    (``mean``, ``base_rate``, ...) are left untouched — only
-    ``levels`` feeds the simulation.
+    ``λ_j ∝ M`` scaling. The scale is always computed against the
+    levels the fleet had at its *first* conserving resize (a private
+    copy, never the caller's array), so chained resizes compound
+    exactly: grow → drain → grow back to ``M`` restores the original
+    offered load bit-for-bit, with no accumulated rounding.  Derived
+    cosmetic attributes of the profile (``mean``, ``base_rate``, ...)
+    are left untouched — only ``levels`` feeds the simulation. A
+    ``conserve_traffic=False`` call breaks the load/fleet relationship
+    on purpose and therefore discards the anchor; the next conserving
+    resize re-anchors at the then-current levels.
 
     Only the plain :class:`BatchedFiniteSystemEnv` is eligible:
     subclasses (graph, heterogeneous, delayed) carry extra per-queue
-    state this function cannot see.
+    state this function cannot see. Environments bound to a non-empty
+    :class:`~repro.queueing.chaos.DegradationSchedule` are rejected:
+    the chaos state's active mask and pristine rates are anchored to
+    the original queue count.
     """
     if type(env) is not BatchedFiniteSystemEnv:
         raise TypeError(
@@ -536,6 +547,12 @@ def resize_queue_fleet(
         )
     if env._states is None:
         raise RuntimeError("environment must be reset before resizing")
+    if getattr(env, "_chaos_state", None) is not None:
+        raise RuntimeError(
+            "cannot resize a fleet running a degradation schedule: the "
+            "chaos state (active mask, pristine rates) is anchored to "
+            "the original queue count"
+        )
     config = env.config
     new_m = int(num_queues)
     old_m = config.num_queues
@@ -560,26 +577,20 @@ def resize_queue_fleet(
     else:
         moved = env._states[:, new_m:].sum(axis=1)
         kept = np.ascontiguousarray(env._states[:, :new_m])
-        buffer = config.buffer_size
-        for r in range(e):
-            row = kept[r]
-            jobs = int(moved[r])
-            while jobs > 0:
-                open_idx = np.flatnonzero(row < buffer)
-                if open_idx.size == 0:
-                    overflow[r] = float(jobs)
-                    break
-                fill = row[open_idx]
-                lowest = open_idx[fill == fill.min()]
-                take = min(jobs, lowest.size)
-                row[lowest[:take]] += 1
-                jobs -= take
+        overflow = water_fill(kept, moved, config.buffer_size)
         env._states = kept
         env.service_rates = env.service_rates[:new_m].copy()
     if conserve_traffic:
+        anchor = getattr(env, "_fleet_anchor", None)
+        if anchor is None:
+            anchor = (env.arrivals.levels.copy(), old_m)
+        base_levels, base_m = anchor
         arrivals = copy.copy(env.arrivals)
-        arrivals.levels = arrivals.levels * (old_m / new_m)
+        arrivals.levels = base_levels * (base_m / new_m)
         env.arrivals = arrivals
+        env._fleet_anchor = anchor
+    else:
+        env._fleet_anchor = None
     env.config = config.with_updates(num_queues=new_m)
     return overflow
 
@@ -741,9 +752,12 @@ class ControlLoop:
         if action.scale:
             target = self.env.config.num_queues + action.scale
             overflow = resize_queue_fleet(self.env, target)
-            self.metrics.resize(self.env.service_rates)
+            # Overflow happened during the handoff, while the fleet was
+            # still at its old width — account it before the metric
+            # fold adopts the new geometry.
             if overflow.any():
                 self.metrics.observe_extra_drops(overflow)
+            self.metrics.resize(self.env.service_rates)
 
     def _build_blend(
         self, weights: tuple[tuple[str, float], ...]

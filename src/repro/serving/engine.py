@@ -51,6 +51,7 @@ from repro.utils.tables import format_table, series_to_csv
 
 if TYPE_CHECKING:
     from repro.policies.base import UpperLevelPolicy
+    from repro.queueing.chaos import DegradationSchedule
     from repro.store.store import ExperimentStore
 
 __all__ = [
@@ -296,6 +297,11 @@ def run_stream(
     if controller is None:
         for _ in range(horizon):
             _, _, info = env.step_with_policy(policy)
+            if info.get("chaos_rates_changed"):
+                # A capacity event re-rated the fleet this epoch; the
+                # new rates applied during the epoch's serve, so the
+                # fold adopts them before consuming it.
+                metrics.resize(env.service_rates)
             metrics.observe_epoch(
                 env.queue_states, info["drops_total"], info["arrival_rates"]
             )
@@ -304,6 +310,8 @@ def run_stream(
     for _ in range(horizon):
         _, _, info = env.step_with_policy(loop.active_policy)
         states = env.queue_states
+        if info.get("chaos_rates_changed"):
+            metrics.resize(env.service_rates)
         metrics.observe_epoch(
             states, info["drops_total"], info["arrival_rates"]
         )
@@ -503,6 +511,7 @@ def run_stream_scenario(
     sim_backend: str | None = None,
     controller: str | None = None,
     context: ExecutionContext | None = None,
+    chaos: "DegradationSchedule | None" = None,
 ) -> StreamResult:
     """Stream one registered scenario at one delay.
 
@@ -531,6 +540,13 @@ def run_stream_scenario(
         suite (``spec.build_controllers``); ``None`` streams
         uncontrolled. The controller may switch among the scenario's
         whole policy suite.
+    chaos : DegradationSchedule, optional
+        Degradation schedule (:mod:`repro.queueing.chaos`) injected
+        into the stream's environment, replacing any schedule the
+        scenario itself embeds. Enters the streaming shard keys through
+        the environment kwargs; validated against the scenario's
+        environment before the stream starts (:class:`ValueError` on
+        mismatch — e.g. link events on a non-graph scenario).
     seed :
         As in :func:`run_stream_request`.
     context : ExecutionContext, optional
@@ -577,6 +593,13 @@ def run_stream_scenario(
                 f"available: {', '.join(controllers) or '<none>'}"
             )
         hook = controllers[controller]
+    env_kwargs = spec.env_kwargs_for(config)
+    if chaos is not None:
+        chaos.validate_for(
+            num_queues=config.num_queues,
+            supports_topology="topology" in env_kwargs,
+        )
+        env_kwargs = {**env_kwargs, "chaos": chaos}
     request = StreamRequest(
         config=config,
         policy=suite[policy_name],
@@ -585,7 +608,7 @@ def run_stream_scenario(
         num_replicas=int(num_replicas),
         seed=seed,
         env_cls=spec.env_cls,
-        env_kwargs=spec.env_kwargs_for(config),
+        env_kwargs=env_kwargs,
         max_batch_replicas=ctx.resolved_max_batch_replicas(
             spec.max_batch_replicas
         ),

@@ -343,6 +343,22 @@ class WindowedSeries:
         if self._acc_epochs == self.current_window:
             self._flush()
 
+    def add_partial(self, values) -> None:
+        """Fold extra field mass into the open window without advancing
+        the epoch clock (for between-epoch events like an autoscale
+        handoff). The recorded window layout is unchanged."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self.num_fields,):
+            raise ValueError(
+                f"expected {self.num_fields} fields, got shape {values.shape}"
+            )
+        if self._acc_epochs == 0 and self._sums:
+            # The previous window just flushed; retroactively charge the
+            # event to it rather than pre-charging an empty window.
+            self._sums[-1] = self._sums[-1] + values
+        else:
+            self._acc += values
+
     def _flush(self) -> None:
         self._widths.append(self._acc_epochs)
         self._sums.append(self._acc)
@@ -542,7 +558,14 @@ class StreamingMetrics:
 
     def observe_extra_drops(self, drops: np.ndarray) -> None:
         """Account drops outside the epoch kernel (autoscale handoff
-        overflow), shape ``(E,)``."""
+        overflow), shape ``(E,)``.
+
+        The mass lands in the summary totals *and* the open window of
+        the operator series (as drop rate over the current fleet's
+        epoch span, mirroring :meth:`observe_epoch`'s normalization),
+        so drained-queue losses are visible in ``run_stream`` window
+        rows — not only in the resize call's return value.
+        """
         drops = np.asarray(drops, dtype=np.float64)
         if drops.shape != (self.num_replicas,):
             raise ValueError(
@@ -551,6 +574,10 @@ class StreamingMetrics:
         if drops.min() < 0:
             raise ValueError("drop counts must be >= 0")
         self._drops += drops
+        rate = float(drops.mean()) / (self.num_queues * self.delta_t)
+        # Dropped jobs were counted as arrivals when their epoch folded,
+        # so the same mass leaves the throughput field.
+        self.windows.add_partial(np.asarray([rate, -rate, 0.0, 0.0]))
 
     # ------------------------------------------------------------------
     def _qlen_quantiles(self) -> np.ndarray:

@@ -161,6 +161,64 @@ class TestErrorPaths:
         assert exc.value.code == 2
         assert "--delta-ts" in capsys.readouterr().err
 
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "outage@x:frac=0.1",     # non-integer epoch
+            "meteor@4:frac=0.1",     # unknown event kind
+            "outage@4",              # outage without victims
+            "flap@4:frac=0.1",       # flap without a factor
+            "",                      # empty spec
+        ],
+    )
+    @pytest.mark.parametrize("command", ["scenario", "stream"])
+    def test_malformed_chaos_spec_rejected(self, command, spec, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main([command, "overload", "--chaos", spec])
+        assert exc.value.code == 2
+        assert "--chaos" in capsys.readouterr().err
+
+    def test_semantically_invalid_chaos_exits_two(self, capsys):
+        """A well-formed schedule that cannot run on the scenario's
+        environment fails before any simulation, as a usage error."""
+        code = main(
+            [
+                "scenario", "overload",
+                "--delta-ts", "2",
+                "--queues", "8",
+                "--runs", "1",
+                "--chaos", "links@3:frac=0.1",
+            ]
+        )
+        assert code == 2
+        assert "graph" in capsys.readouterr().err
+
+    def test_semantically_invalid_chaos_exits_two_on_stream(self, capsys):
+        code = main(
+            [
+                "stream", "diurnal-stream",
+                "--horizon", "12",
+                "--queues", "8",
+                "--replicas", "2",
+                "--chaos", "outage@2:queues=20",
+            ]
+        )
+        assert code == 2
+        assert "fleet has 8" in capsys.readouterr().err
+
+    def test_chaos_scenario_tiny_run(self, capsys):
+        code = main(
+            [
+                "scenario", "overload",
+                "--delta-ts", "5",
+                "--queues", "10",
+                "--runs", "2",
+                "--chaos", "outage@2-5:frac=0.2,mode=preserve",
+            ]
+        )
+        assert code == 0
+        assert "Scenario overload" in capsys.readouterr().out
+
     def test_scenario_list_rejects_sweep_flags(self, capsys):
         with pytest.raises(SystemExit) as exc:
             main(["scenario", "list", "--workers", "4"])

@@ -491,6 +491,51 @@ class TestResizeQueueFleet:
         with pytest.raises(ValueError, match=">= 2"):
             resize_queue_fleet(env, 1)  # d=2 needs at least 2 queues
 
+    def test_chained_resizes_restore_offered_load_bit_for_bit(self):
+        """Regression: each conserving resize used to scale the *current*
+        levels by ``M_old / M_new``, so a grow → drain → grow-back chain
+        accumulated float rounding. Scaling from the anchored base makes
+        the return trip multiply by exactly 1.0."""
+        env = self._resizable()
+        levels = np.asarray(env.arrivals.levels, dtype=float).copy()
+        resize_queue_fleet(env, 18)
+        resize_queue_fleet(env, 7)
+        resize_queue_fleet(env, 12)
+        assert np.array_equal(
+            np.asarray(env.arrivals.levels, dtype=float), levels
+        )
+
+    def test_chained_resizes_compound_from_the_anchor(self):
+        env = self._resizable()
+        levels = np.asarray(env.arrivals.levels, dtype=float).copy()
+        resize_queue_fleet(env, 6)
+        resize_queue_fleet(env, 24)
+        assert np.array_equal(
+            np.asarray(env.arrivals.levels, dtype=float), levels * (12 / 24)
+        )
+
+    def test_non_conserving_resize_discards_the_anchor(self):
+        env = self._resizable()
+        resize_queue_fleet(env, 6, conserve_traffic=False)
+        levels_at_6 = np.asarray(env.arrivals.levels, dtype=float).copy()
+        resize_queue_fleet(env, 12)  # re-anchors at the current levels
+        assert np.array_equal(
+            np.asarray(env.arrivals.levels, dtype=float),
+            levels_at_6 * (6 / 12),
+        )
+
+    def test_rejects_fleets_running_a_degradation_schedule(self):
+        from repro.queueing.chaos import DegradationSchedule, ServerOutage
+
+        env = _env(
+            chaos=DegradationSchedule(
+                (ServerOutage(epoch=1, fraction=0.1),)
+            )
+        )
+        env.reset(_SEED)
+        with pytest.raises(RuntimeError, match="degradation schedule"):
+            resize_queue_fleet(env, 10)
+
 
 class TestScriptedControl:
     def _stream(self, actions, horizon=12, interval=2):

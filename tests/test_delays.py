@@ -124,6 +124,40 @@ class TestDelayedEnv:
         with pytest.raises(ValueError):
             env.snapshot(3)
 
+    def test_stale_shaped_snapshots_error_until_rebuilt(self, config, policy):
+        """Regression: after a fleet-geometry mutation the ring still
+        holds ``(E, M_old)`` snapshots — routing against one would
+        corrupt the gather, so ``snapshot`` must refuse loudly until
+        ``rebuild_snapshots`` re-seeds the history."""
+        env = BatchedDelayedFiniteEnv(
+            config, num_replicas=2, delay_model=DeterministicDelay(2), seed=0
+        )
+        env.reset(0)
+        for _ in range(3):
+            env.step_with_policy(policy)
+        # Mutate the geometry the way resize_queue_fleet does.
+        keep = config.num_queues - 2
+        env._states = env._states[:, :keep].copy()
+        env.service_rates = env.service_rates[:keep].copy()
+        env.config = config.with_updates(
+            num_queues=keep, num_clients=config.num_clients
+        )
+        with pytest.raises(RuntimeError, match="rebuild_snapshots"):
+            env.snapshot(1)
+        env.rebuild_snapshots()
+        # The ring restarts from the current state: every age clamps to
+        # the freshly-seeded snapshot, at the new width.
+        assert np.array_equal(env.snapshot(0), env._states)
+        assert np.array_equal(env.snapshot(2), env._states)
+        assert env.snapshot(1).shape == (2, keep)
+
+    def test_rebuild_snapshots_requires_reset(self, config):
+        env = BatchedDelayedFiniteEnv(
+            config, num_replicas=2, delay_model=DeterministicDelay(1), seed=0
+        )
+        with pytest.raises(RuntimeError, match="reset"):
+            env.rebuild_snapshots()
+
     def test_stochastic_delays_change_the_stream(self, config, policy):
         """A non-degenerate delay model consumes extra randomness and
         routes against stale snapshots — trajectories must diverge from

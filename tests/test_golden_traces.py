@@ -124,6 +124,35 @@ def _build_compiled_backend_trace() -> dict:
     return _trace_payload(env, JoinShortestQueuePolicy(6, 2))
 
 
+def _build_chaos_trace() -> dict:
+    """Dense family under a composite degradation schedule: a
+    preservation outage with restart plus a capacity flap, all inside
+    the 12 reference epochs. Pins the event arithmetic (water-fill,
+    rate masking, blackhole accounting) against stream drift."""
+    from repro.queueing.chaos import (
+        CapacityFlap,
+        DegradationSchedule,
+        ServerOutage,
+    )
+
+    schedule = DegradationSchedule(
+        (
+            CapacityFlap(epoch=2, factor=0.5, fraction=0.5, end_epoch=9),
+            ServerOutage(
+                epoch=4, fraction=0.25, restart_epoch=8, preserve_jobs=True
+            ),
+        )
+    )
+    env = BatchedFiniteSystemEnv(
+        _CONFIG,
+        num_replicas=2,
+        per_packet_randomization=True,
+        seed=_SEED,
+        chaos=schedule,
+    )
+    return _trace_payload(env, JoinShortestQueuePolicy(6, 2))
+
+
 def _build_sweep_means() -> dict:
     """Merged sweep means for one scenario per family (tiny grids)."""
     payload = {}
@@ -147,6 +176,7 @@ _BUILDERS = {
     "heterogeneous_family_trace.json": _build_heterogeneous_trace,
     "graph_family_trace.json": _build_graph_trace,
     "compiled_backend_trace.json": _build_compiled_backend_trace,
+    "chaos_family_trace.json": _build_chaos_trace,
     "sweep_means.json": _build_sweep_means,
 }
 

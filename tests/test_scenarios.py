@@ -33,6 +33,9 @@ BUILTIN_NAMES = (
     "diurnal-stream",
     "flash-crowd",
     "stochastic-delay",
+    "outage-recovery",
+    "capacity-flap",
+    "link-failure-local",
 )
 
 

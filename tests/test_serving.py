@@ -146,6 +146,33 @@ class TestWindowedSeries:
         with pytest.raises(ValueError):
             series.add_epoch([1.0])
 
+    def test_add_partial_folds_into_open_window(self):
+        series = WindowedSeries(4, 2, max_windows=8)
+        series.add_epoch([1.0, 1.0])
+        series.add_partial([0.5, -0.5])
+        for _ in range(3):
+            series.add_epoch([1.0, 1.0])
+        sums = series.sums()
+        assert sums[0, 0] == pytest.approx(4.5)
+        assert sums[0, 1] == pytest.approx(3.5)
+        # The partial never advances the epoch clock.
+        assert series.widths()[0] == 4
+
+    def test_add_partial_on_boundary_charges_the_flushed_window(self):
+        series = WindowedSeries(4, 1, max_windows=8)
+        for _ in range(4):
+            series.add_epoch([1.0])
+        # The window just flushed; a between-epoch event lands on it
+        # retroactively rather than pre-charging an empty window.
+        series.add_partial([2.0])
+        assert series.sums()[0, 0] == pytest.approx(6.0)
+        assert series.widths()[0] == 4
+
+    def test_add_partial_validates_shape(self):
+        series = WindowedSeries(4, 2)
+        with pytest.raises(ValueError, match="2 fields"):
+            series.add_partial([1.0])
+
 
 class TestStreamingMetrics:
     def test_summary_matches_batched_trajectory(self, config, jsq):
@@ -216,6 +243,51 @@ class TestStreamingMetrics:
             )
         with pytest.raises(ValueError):
             metrics.summaries()
+
+    def test_extra_drops_land_in_summaries_and_window_rows(self):
+        """Satellite: overflow accounted through ``observe_extra_drops``
+        must show up in the operator window series (drop rate up,
+        throughput down by the same mass), not only in the end-of-run
+        summary totals."""
+        from repro.serving.metrics import WINDOW_FIELDS
+
+        m, delta_t = 4, 2.0
+        metrics = StreamingMetrics(
+            num_replicas=2,
+            num_states=6,
+            service_rates=np.ones(m),
+            delta_t=delta_t,
+            window=5,
+        )
+        states = np.zeros((2, m), dtype=int)
+        rates = np.full((2, m), 0.5)
+        metrics.observe_epoch(states, np.zeros(2), rates)
+        extra = np.array([3.0, 1.0])
+        metrics.observe_extra_drops(extra)
+        summaries = metrics.summaries()
+        drops_col = SUMMARY_FIELDS.index("total_drops_per_queue")
+        np.testing.assert_allclose(summaries[:, drops_col], extra / m)
+        row = metrics.windows.rows()[0]
+        expected_rate = extra.mean() / (m * delta_t)
+        assert row[WINDOW_FIELDS.index("drop_rate")] == pytest.approx(
+            expected_rate
+        )
+        baseline = StreamingMetrics(
+            num_replicas=2,
+            num_states=6,
+            service_rates=np.ones(m),
+            delta_t=delta_t,
+            window=5,
+        )
+        baseline.observe_epoch(states, np.zeros(2), rates)
+        tp = WINDOW_FIELDS.index("throughput")
+        assert metrics.windows.rows()[0][tp] == pytest.approx(
+            baseline.windows.rows()[0][tp] - expected_rate
+        )
+        with pytest.raises(ValueError, match=">= 0"):
+            metrics.observe_extra_drops(np.array([-1.0, 0.0]))
+        with pytest.raises(ValueError):
+            metrics.observe_extra_drops(np.zeros(3))
 
 
 class TestStreamRequest:
