@@ -56,16 +56,34 @@ class ExecutionContext:
     max_batch_replicas:
         Replica chunk size (also the shard granularity). ``None`` keeps
         the callee's default (``64``, or a scenario's registered value).
+    claim:
+        Multi-node mode: claim each pending shard through the store's
+        atomic claim files before computing it, and wait for (rather
+        than recompute) shards claimed by other hosts — so independent
+        hosts sharing ``store`` partition a sweep. Requires ``store``.
+    merge_only:
+        Merge previously completed shards from the store without
+        computing anything; raises if any shard is missing. Requires
+        ``store``; mutually exclusive with ``claim``.
     """
 
     workers: int = 1
     store: "ExperimentStore | None" = None
     sim_backend: str = "numpy"
     max_batch_replicas: int | None = None
+    claim: bool = False
+    merge_only: bool = False
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.claim and self.merge_only:
+            raise ValueError("claim and merge_only are mutually exclusive")
+        if (self.claim or self.merge_only) and self.store is None:
+            raise ValueError(
+                "claim/merge_only coordinate through the experiment "
+                "store; pass store= as well"
+            )
         if self.max_batch_replicas is not None and self.max_batch_replicas < 1:
             raise ValueError(
                 "max_batch_replicas must be >= 1, "

@@ -20,7 +20,11 @@ bench scale; pass paper-scale values explicitly for a full reproduction.
 ``--workers K`` shards the Monte-Carlo sweeps across ``K`` processes
 (results are bit-identical to ``--workers 1``; see ``docs/scaling.md``).
 ``--store-dir DIR`` attaches a content-addressed shard cache so repeated
-and overlapping sweeps only simulate what is new.
+and overlapping sweeps only simulate what is new. Adding ``--claim``
+turns the shared store into a multi-node work queue: independent hosts
+pointing the same command at one store directory partition the sweep's
+shards between them, and ``--merge-only`` assembles the final result
+from a completed partitioned run (see ``docs/scaling.md``).
 
 ``stream`` runs one registered scenario through the streaming serving
 engine (:mod:`repro.serving`) for an arbitrarily long horizon with
@@ -191,6 +195,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workers_flag(ps)
     _add_store_flag(ps)
     _add_sim_backend_flag(ps)
+    _add_claim_flags(ps)
 
     pstream = sub.add_parser(
         "stream",
@@ -275,6 +280,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print each artifact's table as it is regenerated",
     )
     _add_workers_flag(pr)
+    _add_claim_flags(pr)
     return parser
 
 
@@ -293,6 +299,33 @@ def _add_store_flag(subparser: argparse.ArgumentParser) -> None:
         "replica chunks and persist fresh ones (bit-identical results "
         "either way)",
     )
+
+
+def _add_claim_flags(subparser: argparse.ArgumentParser) -> None:
+    group = subparser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--claim", action="store_true",
+        help="multi-node mode: claim each shard through the shared store "
+        "before computing it, so independent hosts pointing at one "
+        "--store-dir partition the sweep between them (results merge "
+        "bit-identically to a single-host run; see docs/scaling.md)",
+    )
+    group.add_argument(
+        "--merge-only", action="store_true",
+        help="assemble the result purely from previously computed shards "
+        "in the store; fails if any shard is missing",
+    )
+
+
+def _check_claim_flags(parser: argparse.ArgumentParser, args) -> None:
+    """Claim coordination needs the shared store directory to exist."""
+    if getattr(args, "claim", False) or getattr(args, "merge_only", False):
+        flag = "--claim" if getattr(args, "claim", False) else "--merge-only"
+        if getattr(args, "store_dir", None) is None:
+            parser.error(
+                f"{flag} coordinates work through the shared shard store; "
+                "pass --store-dir as well"
+            )
 
 
 def _add_sim_backend_flag(subparser: argparse.ArgumentParser) -> None:
@@ -332,6 +365,8 @@ def _execution_context(args):
         workers=getattr(args, "workers", 1),
         store=_open_store(args),
         sim_backend=getattr(args, "sim_backend", "numpy"),
+        claim=getattr(args, "claim", False),
+        merge_only=getattr(args, "merge_only", False),
     )
 
 
@@ -398,6 +433,10 @@ def main(argv: list[str] | None = None) -> int:
                 conflicting.append("--workers")
             if args.sim_backend != "numpy":
                 conflicting.append("--sim-backend")
+            if args.claim:
+                conflicting.append("--claim")
+            if args.merge_only:
+                conflicting.append("--merge-only")
             if conflicting:
                 parser.error(
                     "'scenario list' prints the catalogue and takes no "
@@ -411,6 +450,7 @@ def main(argv: list[str] | None = None) -> int:
                 )
             )
         else:
+            _check_claim_flags(parser, args)
             try:
                 result = run_scenario(
                     args.name,
@@ -487,6 +527,12 @@ def main(argv: list[str] | None = None) -> int:
                 "--store-dir names a shard cache but --no-store disables "
                 "caching; pass one or the other"
             )
+        if (args.claim or args.merge_only) and args.no_store:
+            flag = "--claim" if args.claim else "--merge-only"
+            parser.error(
+                f"{flag} coordinates work through the shard store; "
+                "drop --no-store"
+            )
         try:
             manifest = load_manifest(args.manifest)
         except (OSError, ValueError) as exc:
@@ -529,6 +575,8 @@ def main(argv: list[str] | None = None) -> int:
                 workers=args.workers,
                 only=args.only,
                 echo=args.echo,
+                claim=args.claim,
+                merge_only=args.merge_only,
             )
         except ValueError as exc:  # unknown --only name, bad params, ...
             print(f"error: {exc}", file=sys.stderr)

@@ -268,12 +268,46 @@ class SweepExecutor:
         inputs.
     context:
         Optional :class:`repro.execution.ExecutionContext` carrying
-        ``workers`` and ``store`` in one bundle. Mutually exclusive with
-        passing those two individually (``TypeError``); the executor is
-        the low-level machinery, so its own keywords stay supported —
-        only the *mixing* of styles is rejected. The context's
-        ``sim_backend``/``max_batch_replicas`` are per-request knobs and
-        are ignored here.
+        ``workers``, ``store``, ``claim`` and ``merge_only`` in one
+        bundle. Mutually exclusive with passing those individually
+        (``TypeError``); the executor is the low-level machinery, so its
+        own keywords stay supported — only the *mixing* of styles is
+        rejected. The context's ``sim_backend``/``max_batch_replicas``
+        are per-request knobs and are ignored here.
+    claim:
+        Multi-node mode: before computing a pending shard, claim it
+        through the store's atomic claim files
+        (:meth:`~repro.store.store.ExperimentStore.try_claim`).
+        Independent hosts pointing at one shared store directory then
+        partition a sweep between them without a coordinator: each host
+        computes the shards it wins, polls the store for shards claimed
+        elsewhere, and merges everything bit-identically to a
+        single-host run (shard streams are pure functions of their key
+        inputs, so *who* computes a shard cannot change it). A claim
+        untouched for ``stale_claim_after`` seconds (a killed worker) is
+        taken over, making every shard at-least-once. Requires
+        ``store``.
+    merge_only:
+        Merge previously completed shards from the store without
+        computing anything; raises ``RuntimeError`` naming the missing
+        shard count if the sweep is incomplete. This is how any host —
+        even one that computed nothing — assembles a partitioned
+        sweep's final result. Requires ``store``; mutually exclusive
+        with ``claim``.
+    claim_owner:
+        Identity written into claim files (diagnostics only); defaults
+        to ``"<hostname>:<pid>"``.
+    stale_claim_after:
+        Seconds after which another worker's untouched claim is
+        considered abandoned and taken over. ``None`` disables takeover
+        (a killed claimant then blocks the sweep until its claim is
+        removed by hand).
+    claim_poll_interval:
+        Seconds between store polls while waiting for shards claimed by
+        other hosts.
+    claim_timeout:
+        Optional overall deadline (seconds) for those waits;
+        ``TimeoutError`` when exceeded. ``None`` waits indefinitely.
     """
 
     def __init__(
@@ -282,21 +316,42 @@ class SweepExecutor:
         mp_context: "BaseContext | str | None" = None,
         store: "ExperimentStore | None" = None,
         context: "ExecutionContext | None" = None,
+        claim: bool = False,
+        merge_only: bool = False,
+        claim_owner: str | None = None,
+        stale_claim_after: float | None = 1800.0,
+        claim_poll_interval: float = 0.25,
+        claim_timeout: float | None = None,
     ) -> None:
         import os
 
         if context is not None:
-            if workers is not None or store is not None:
+            if workers is not None or store is not None or claim or merge_only:
                 raise TypeError(
                     "pass workers/store either via context= or "
                     "individually, not both"
                 )
             workers = context.workers
             store = context.store
+            claim = getattr(context, "claim", False)
+            merge_only = getattr(context, "merge_only", False)
         if workers is None:
             workers = os.cpu_count() or 1
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if claim and merge_only:
+            raise ValueError("claim and merge_only are mutually exclusive")
+        if (claim or merge_only) and store is None:
+            raise ValueError(
+                "claim/merge_only coordinate through the experiment "
+                "store; pass store= as well"
+            )
+        if stale_claim_after is not None and stale_claim_after <= 0:
+            raise ValueError("stale_claim_after must be > 0 (or None)")
+        if claim_poll_interval <= 0:
+            raise ValueError("claim_poll_interval must be > 0")
+        if claim_timeout is not None and claim_timeout <= 0:
+            raise ValueError("claim_timeout must be > 0 (or None)")
         self.workers = int(workers)
         if isinstance(mp_context, str):
             import multiprocessing
@@ -304,6 +359,16 @@ class SweepExecutor:
             mp_context = multiprocessing.get_context(mp_context)
         self._mp_context = mp_context
         self.store = store
+        self.claim = bool(claim)
+        self.merge_only = bool(merge_only)
+        if claim_owner is None:
+            import socket
+
+            claim_owner = f"{socket.gethostname()}:{os.getpid()}"
+        self.claim_owner = str(claim_owner)
+        self.stale_claim_after = stale_claim_after
+        self.claim_poll_interval = float(claim_poll_interval)
+        self.claim_timeout = claim_timeout
 
     def run_drops(self, requests: Sequence[EvalRequest]) -> list[np.ndarray]:
         """Merged per-replica drops for every request, in request order.
@@ -315,12 +380,32 @@ class SweepExecutor:
         requests = list(requests)
         merged = [np.empty(req.resolved_runs()) for req in requests]
         pending = self._resolve_cached(requests, _decompose(requests), merged)
+        if self.merge_only:
+            if pending:
+                raise RuntimeError(
+                    f"merge-only sweep is missing {len(pending)} shard(s) "
+                    "from the store; run the claimants to completion first"
+                )
+            return merged
+        if self.claim:
+            self._run_claimed(requests, merged, pending)
+            return merged
+        self._execute(requests, merged, pending)
+        return merged
+
+    def _execute(
+        self,
+        requests: list[EvalRequest],
+        merged: list[np.ndarray],
+        pending: "list[tuple[_Shard, str | None]]",
+    ) -> None:
+        """Compute ``pending`` shards (serially or pooled) and merge them."""
         if self.workers == 1 or len(pending) <= 1:
             for shard, key in pending:
                 drops = _run_shard(requests[shard.request_index], shard)
                 self._merge(merged, shard, drops)
                 self._persist(requests[shard.request_index], shard, key, drops)
-            return merged
+            return
         max_workers = min(self.workers, len(pending))
         with ProcessPoolExecutor(
             max_workers=max_workers, mp_context=self._mp_context
@@ -346,7 +431,76 @@ class SweepExecutor:
                 for future in futures:
                     future.cancel()
                 raise
-        return merged
+
+    def _run_claimed(
+        self,
+        requests: list[EvalRequest],
+        merged: list[np.ndarray],
+        pending: "list[tuple[_Shard, str | None]]",
+    ) -> None:
+        """Claim-partitioned execution of ``pending`` against the store.
+
+        Each round claims whatever shards are unowned (including stale
+        claims of dead workers), computes them, then sweeps the store
+        for shards other hosts finished in the meantime. The loop
+        terminates because every shard is either claimable here
+        eventually (stale takeover) or completed — and published —
+        elsewhere; merged output is bit-identical to a single-host run
+        because shard results are pure functions of their key inputs.
+        """
+        import time
+
+        assert self.store is not None
+        deadline = (
+            None
+            if self.claim_timeout is None
+            else time.monotonic() + self.claim_timeout
+        )
+        remaining = list(pending)
+        while remaining:
+            mine: list[tuple[_Shard, str | None]] = []
+            waiting: list[tuple[_Shard, str | None]] = []
+            for shard, key in remaining:
+                assert key is not None  # claim mode requires a store
+                if not self.store.try_claim(
+                    key, self.claim_owner, stale_after=self.stale_claim_after
+                ):
+                    waiting.append((shard, key))
+                    continue
+                # Claim-then-check: a finished claimant persists *before*
+                # releasing, so holding the claim and still missing the
+                # entry proves nobody computed this shard — duplicates
+                # are impossible outside stale takeover of a live
+                # worker.
+                drops = self.store.get_shard(key, expected_runs=shard.num_runs)
+                if drops is not None:
+                    self._merge(merged, shard, drops)
+                    self.store.release_claim(key)
+                else:
+                    mine.append((shard, key))
+            if mine:
+                try:
+                    self._execute(requests, merged, mine)
+                finally:
+                    # Results are persisted (or at least merged); drop
+                    # the claims so crashes here don't strand shards
+                    # until stale takeover.
+                    for _, key in mine:
+                        self.store.release_claim(key)
+            remaining = []
+            for shard, key in waiting:
+                drops = self.store.get_shard(key, expected_runs=shard.num_runs)
+                if drops is not None:
+                    self._merge(merged, shard, drops)
+                else:
+                    remaining.append((shard, key))
+            if remaining and not mine:
+                if deadline is not None and time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"{len(remaining)} shard(s) still claimed by other "
+                        f"workers after {self.claim_timeout:g}s"
+                    )
+                time.sleep(self.claim_poll_interval)
 
     def _resolve_cached(
         self,

@@ -48,8 +48,10 @@ from repro.meanfield.delayed import (
     delayed_local_epoch_update,
     delayed_mean_field_trajectory,
 )
+from repro.meanfield.hybrid import HybridFieldClosure
 
 __all__ = [
+    "HybridFieldClosure",
     "DelayedMeanFieldPropagator",
     "delayed_arrival_rates",
     "delayed_local_epoch_update",

@@ -1,0 +1,265 @@
+"""Mean-field closure of the untracked fleet in hybrid simulations.
+
+:class:`HybridFieldClosure` maintains, per replica, the law of the
+``M_field = M - M_track`` queues that
+:class:`repro.queueing.hybrid_env.BatchedHybridFleetEnv` does *not*
+simulate exactly. Each epoch the closure advances those laws with the
+exact propagators of :mod:`repro.meanfield.discretization` (dense) and
+:mod:`repro.meanfield.delayed` (snapshot-age mixtures), evaluated at the
+*global* mixture law
+
+    μ_t = (M_track / M) · H_t  +  (M_field / M) · ν_t
+
+so field queues are sampled and ranked against the same population the
+tracked queues see. Arrival mass is exchanged consistently with the
+tracked half: the environment hands the closure the exact per-queue
+arrival mass the field must absorb (offered mass minus the tracked
+half's sampled rates) and the closure rescales its frozen per-state
+rates so ``Σ_z ν_t(z) r(z)`` matches it bit-for-bit — conservation
+holds every epoch by construction.
+
+Both reductions are exact:
+
+* ``M_track = 0`` — the mixture collapses to ``ν_t``, no rescaling is
+  applied, and the per-replica update performs the *identical* floating
+  point operations as :func:`repro.meanfield.discretization.epoch_update`
+  / :class:`repro.meanfield.delayed.DelayedMeanFieldPropagator`.
+* ``M_field = 0`` — the environment never constructs a closure at all.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+import numpy as np
+
+from repro.meanfield.decision_rule import DecisionRule
+from repro.meanfield.delayed import _MASS_EPS
+from repro.meanfield.discretization import (
+    per_state_arrival_rates,
+    propagate_state,
+)
+
+__all__ = ["HybridFieldClosure"]
+
+#: Below this natural-to-target mass ratio the rescaling factor would
+#: blow up; fall back to a state-uniform rate with the exact target mass.
+_SCALE_EPS = 1e-12
+
+
+class HybridFieldClosure:
+    """Per-replica field laws advanced by the exact epoch propagators.
+
+    Parameters
+    ----------
+    nu0 : ndarray
+        Initial law shared by every replica, shape ``(S,)``.
+    num_replicas : int
+        Lock-step replica count ``E``.
+    max_delay : int
+        Largest snapshot age ``K`` served (``0`` for the dense closure).
+    service : float
+        Service rate ``α`` of the field queues.
+    delta_t : float
+        Epoch length ``Δt``.
+    """
+
+    def __init__(
+        self,
+        nu0: np.ndarray,
+        num_replicas: int,
+        max_delay: int,
+        service: float,
+        delta_t: float,
+    ) -> None:
+        nu0 = np.asarray(nu0, dtype=np.float64)
+        if nu0.ndim != 1 or nu0.size < 2:
+            raise ValueError("nu0 must be a law over >= 2 states")
+        if num_replicas < 1:
+            raise ValueError(f"num_replicas must be >= 1, got {num_replicas}")
+        if max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {max_delay}")
+        if service <= 0 or delta_t <= 0:
+            raise ValueError("service and delta_t must be > 0")
+        self.num_replicas = int(num_replicas)
+        self.num_states = int(nu0.size)
+        self.max_delay = int(max_delay)
+        self.service = float(service)
+        self.delta_t = float(delta_t)
+        # Newest-first histories (mirrors DelayedMeanFieldPropagator):
+        # _nus[k] holds the age-k laws, shape (E, S).
+        self._nus: deque[np.ndarray] = deque(
+            [np.tile(nu0, (self.num_replicas, 1))], maxlen=self.max_delay + 1
+        )
+        self._epoch_transitions: deque[np.ndarray] = deque(
+            maxlen=self.max_delay
+        )
+
+    @property
+    def nu(self) -> np.ndarray:
+        """Current field laws ``ν_t`` per replica, shape ``(E, S)``."""
+        return self._nus[0].copy()
+
+    def laws(self, age: int) -> np.ndarray:
+        """Age-``age`` field laws (clamped to the oldest), ``(E, S)``."""
+        if not 0 <= age <= self.max_delay:
+            raise ValueError(f"age must lie in [0, {self.max_delay}]")
+        return self._nus[min(age, len(self._nus) - 1)].copy()
+
+    def sample_states(self, age: int, count: int, rng) -> np.ndarray:
+        """Draw ``count`` i.i.d. virtual field states per replica.
+
+        Inverse-CDF sampling from the age-``age`` laws with one
+        ``rng.random((E, count))`` draw — the hybrid environment's only
+        extra consumption of the generator stream relative to the dense
+        environment. Returns int64 states shaped ``(E, count)``.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        laws = self._nus[min(age, len(self._nus) - 1)]
+        cum = np.cumsum(laws, axis=1)
+        cum[:, -1] = 1.0
+        u = rng.random((self.num_replicas, count))
+        out = np.empty((self.num_replicas, count), dtype=np.int64)
+        for e in range(self.num_replicas):
+            out[e] = np.searchsorted(cum[e], u[e], side="right")
+        np.minimum(out, self.num_states - 1, out=out)
+        return out
+
+    def _replica_history(
+        self, e: int
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Replica ``e``'s age-indexed laws and ``Φ_k`` products."""
+        nus = [
+            self._nus[min(k, len(self._nus) - 1)][e]
+            for k in range(self.max_delay + 1)
+        ]
+        phis = [np.eye(self.num_states)]
+        phi = phis[0]
+        for i in range(self.max_delay):
+            if i < len(self._epoch_transitions):
+                phi = self._epoch_transitions[i][e] @ phi
+            phis.append(phi)
+        return nus, phis
+
+    def step(
+        self,
+        rules: "DecisionRule | Sequence[DecisionRule]",
+        lams: np.ndarray,
+        *,
+        pmfs: np.ndarray | None = None,
+        tracked_hists: "Sequence[np.ndarray] | None" = None,
+        tracked_weight: float = 0.0,
+        field_targets: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Advance every replica's field law by one epoch.
+
+        Parameters
+        ----------
+        rules : DecisionRule or sequence
+            Decision rule(s) — one shared or ``E`` per-replica rules.
+        lams : ndarray
+            Per-replica arrival intensities ``λ_t``, shape ``(E,)``.
+        pmfs : ndarray, optional
+            Per-replica snapshot-age pmfs ``(E, K + 1)``; ``None`` is the
+            dense (age-0) closure.
+        tracked_hists : sequence of ndarray, optional
+            Age-indexed tracked-subsystem histograms, each ``(E, S)``
+            (epoch-start snapshots). ``None`` when nothing is tracked.
+        tracked_weight : float
+            Mixture weight ``M_track / M`` of the tracked histograms.
+        field_targets : ndarray, optional
+            Exact per-field-queue arrival mass each replica's field must
+            absorb, shape ``(E,)``. ``None`` skips rescaling (the pure
+            mean-field reduction).
+
+        Returns
+        -------
+        ndarray
+            Expected per-field-queue drops this epoch, shape ``(E,)``.
+        """
+        if isinstance(rules, DecisionRule):
+            rule_list: "list[DecisionRule]" = [rules] * self.num_replicas
+        else:
+            rule_list = list(rules)
+            if len(rule_list) != self.num_replicas:
+                raise ValueError(
+                    f"need {self.num_replicas} rules, got {len(rule_list)}"
+                )
+        lams = np.asarray(lams, dtype=np.float64)
+        if lams.shape != (self.num_replicas,):
+            raise ValueError(
+                f"lams must have shape ({self.num_replicas},), "
+                f"got {lams.shape}"
+            )
+        w_t = float(tracked_weight)
+        w_f = 1.0 - w_t
+        e_count, s = self.num_replicas, self.num_states
+        nu_next_all = np.empty((e_count, s))
+        transitions_all = (
+            np.empty((e_count, s, s)) if self.max_delay > 0 else None
+        )
+        expected = np.empty(e_count)
+        for e in range(e_count):
+            rule, lam_e = rule_list[e], float(lams[e])
+            if self.max_delay == 0:
+                nu_now = self._nus[0][e]
+                if tracked_hists is None:
+                    mix = nu_now
+                else:
+                    mix = w_f * nu_now + w_t * tracked_hists[0][e]
+                rates = per_state_arrival_rates(mix, rule, lam_e)
+            else:
+                nus_e, phis = self._replica_history(e)
+                nu_now = nus_e[0]
+                if pmfs is not None:
+                    pmf = np.asarray(pmfs[e], dtype=np.float64)
+                else:
+                    pmf = np.zeros(self.max_delay + 1)
+                    pmf[0] = 1.0
+                numerator = np.zeros(s)
+                filler = 0.0
+                for k, p_k in enumerate(pmf):
+                    if p_k <= 0.0:
+                        continue
+                    nu_k = nus_e[k]
+                    if tracked_hists is None:
+                        mix_k = nu_k
+                    else:
+                        mix_k = w_f * nu_k + w_t * tracked_hists[k][e]
+                    # Sampling happens against the age-k *mixture*; the
+                    # Bayes transport back to current states runs through
+                    # the field's own law and propagator product, as in
+                    # delayed_arrival_rates.
+                    r_k = per_state_arrival_rates(mix_k, rule, lam_e)
+                    numerator += p_k * ((nu_k * r_k) @ phis[k])
+                    filler += p_k * float(nu_k @ r_k)
+                rates = np.where(
+                    nu_now > _MASS_EPS,
+                    numerator / np.maximum(nu_now, _MASS_EPS),
+                    filler,
+                )
+            if field_targets is not None:
+                # Pin absorbed mass to the exact remainder the tracked
+                # half left over: Σ_z ν(z) r(z) == target afterwards.
+                target = max(float(field_targets[e]), 0.0)
+                natural = float(nu_now @ rates)
+                if natural > _SCALE_EPS * max(target, 1.0):
+                    rates = rates * (target / natural)
+                else:
+                    rates = np.full(s, target)
+            transitions, drops = propagate_state(
+                rates, self.service, self.delta_t, s
+            )
+            nu_next = nu_now @ transitions
+            nu_next = np.maximum(nu_next, 0.0)
+            nu_next /= nu_next.sum()
+            expected[e] = float(nu_now @ drops)
+            nu_next_all[e] = nu_next
+            if transitions_all is not None:
+                transitions_all[e] = transitions
+        self._nus.appendleft(nu_next_all)
+        if transitions_all is not None:
+            self._epoch_transitions.appendleft(transitions_all)
+        return expected

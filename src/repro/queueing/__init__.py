@@ -45,6 +45,7 @@ from repro.queueing.delays import (
     MarkovModulatedDelay,
 )
 from repro.queueing.delayed_env import BatchedDelayedFiniteEnv
+from repro.queueing.hybrid_env import BatchedHybridFleetEnv
 from repro.queueing.workloads import (
     DiurnalRate,
     FlashCrowdRate,
@@ -80,6 +81,7 @@ __all__ = [
     "IIDDelay",
     "MarkovModulatedDelay",
     "BatchedDelayedFiniteEnv",
+    "BatchedHybridFleetEnv",
     "ProfileRate",
     "DiurnalRate",
     "FlashCrowdRate",

@@ -167,9 +167,10 @@ def default_family_builders(
 
     The parametrization surface of the conformance suite: families
     cover both choose-stage modes (committed and per-packet), the
-    graph/heterogeneous/delayed variants, and the infinite-client
-    system (serve stage only), each paired with a stationary policy of
-    matching observed-state geometry.
+    graph/heterogeneous/delayed variants, the infinite-client system
+    (serve stage only) and the hybrid finite/mean-field fleet (half
+    tracked, half closed by the mean-field propagator), each paired
+    with a stationary policy of matching observed-state geometry.
     """
     from repro.policies.static import JoinShortestQueuePolicy
     from repro.queueing.batched_env import (
@@ -179,6 +180,7 @@ def default_family_builders(
     from repro.queueing.delayed_env import BatchedDelayedFiniteEnv
     from repro.queueing.delays import IIDDelay
     from repro.queueing.graph_env import BatchedGraphFiniteEnv
+    from repro.queueing.hybrid_env import BatchedHybridFleetEnv
     from repro.queueing.heterogeneous import (
         BatchedHeterogeneousFiniteEnv,
         ServerClassSpec,
@@ -255,6 +257,18 @@ def default_family_builders(
             lambda backend: BatchedInfiniteClientEnv(
                 config,
                 num_replicas=num_replicas,
+                seed=seed,
+                backend=backend,
+            ),
+            jsq,
+        ),
+        ConformanceFamily(
+            "hybrid",
+            lambda backend: BatchedHybridFleetEnv(
+                config,
+                num_replicas=num_replicas,
+                num_tracked=max(1, config.num_queues // 2),
+                per_packet_randomization=True,
                 seed=seed,
                 backend=backend,
             ),

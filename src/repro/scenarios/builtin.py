@@ -1,6 +1,6 @@
 """The built-in scenario catalogue.
 
-Sixteen workloads, registered on import:
+Seventeen workloads, registered on import:
 
 * ``paper-baseline`` — the paper's own Figure-5 setting: homogeneous
   servers, two-level Markov-modulated arrivals, MF vs JSQ(2) vs RND.
@@ -45,6 +45,14 @@ Sixteen workloads, registered on import:
   local topologies under partial link loss). The paper's Fig-6
   assumption-violation experiment generalized from "synced ages" to
   "the world changed under you".
+* ``theorem1-gap`` — the hybrid finite/mean-field fleet
+  (:class:`repro.queueing.hybrid_env.BatchedHybridFleetEnv`): a tracked
+  subsystem of ``M/10`` queues evolves exactly while the rest of the
+  fleet is closed by the mean-field propagator, so the Theorem-1
+  finite-vs-limit gap is measurable at fleet sizes (``--queues`` up to
+  10^6) where the brute-force batched environment cannot go. Clients
+  scale as ``N = 10 M`` (not ``M^2``) to keep million-queue sweeps in
+  memory; ``benchmarks/bench_hybrid_fleet.py`` drives the gap curve.
 
 Default grids are bench scale (a laptop regenerates any scenario in
 minutes); pass ``--queues`` / ``--runs`` / ``--delta-ts`` for
@@ -62,6 +70,7 @@ from repro.queueing.arrivals import MarkovModulatedRate
 from repro.queueing.delayed_env import BatchedDelayedFiniteEnv
 from repro.queueing.delays import MarkovModulatedDelay
 from repro.queueing.graph_env import BatchedGraphFiniteEnv
+from repro.queueing.hybrid_env import BatchedHybridFleetEnv
 from repro.queueing.heterogeneous import (
     BatchedHeterogeneousFiniteEnv,
     ServerClassSpec,
@@ -831,6 +840,44 @@ register_scenario(
         env_cls=BatchedGraphFiniteEnv,
         build_env_kwargs=_link_failure_env_kwargs,
         tags=("chaos", "topology", "related-work"),
+    )
+)
+
+#: Tracked-subsystem sizing for ``theorem1-gap``: one tracked queue per
+#: ten fleet queues, floored at 1 so tiny ``--queues`` overrides stay
+#: valid. Part of the scenario identity (it shapes the hybrid closure).
+HYBRID_TRACKED_DIVISOR = 10
+
+
+def _hybrid_num_tracked(num_queues: int) -> int:
+    return max(1, num_queues // HYBRID_TRACKED_DIVISOR)
+
+
+def _hybrid_env_kwargs(config: SystemConfig) -> dict[str, object]:
+    return {
+        "num_tracked": _hybrid_num_tracked(config.num_queues),
+        "per_packet_randomization": True,
+    }
+
+
+register_scenario(
+    ScenarioSpec(
+        name="theorem1-gap",
+        description=(
+            "Hybrid finite/mean-field fleet: M/10 tracked queues + "
+            "mean-field closure, for Theorem-1 gaps at M up to 10^6"
+        ),
+        base_config=paper_system_config(num_queues=100),
+        delta_ts=(1.0, 5.0, 10.0),
+        num_runs=5,
+        build_policies=_static_policies,
+        env_cls=BatchedHybridFleetEnv,
+        build_env_kwargs=_hybrid_env_kwargs,
+        # N = 10 M, not the default M^2: the hybrid env exists to reach
+        # million-queue fleets, where quadratic client counts would
+        # blow past memory in the client-sampling arrays.
+        clients_of_m=lambda m: 10 * m,
+        tags=("paper", "hybrid", "scale"),
     )
 )
 

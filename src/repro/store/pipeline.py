@@ -148,6 +148,8 @@ def _regenerate(
     seed: int,
     workers: int,
     store: "ExperimentStore | None",
+    claim: bool = False,
+    merge_only: bool = False,
 ) -> "tuple[str, str | None]":
     """Run one artifact; returns ``(table_text, csv_text | None)``.
 
@@ -157,7 +159,12 @@ def _regenerate(
     """
     from repro.execution import ExecutionContext
 
-    ctx = ExecutionContext(workers=int(workers), store=store)
+    ctx = ExecutionContext(
+        workers=int(workers),
+        store=store,
+        claim=bool(claim),
+        merge_only=bool(merge_only),
+    )
     params = dict(spec.params)
     params.pop("seed", None)  # already resolved into ``seed``
     if spec.kind == "table1":
@@ -245,6 +252,8 @@ def run_reproduction(
     workers: int = 1,
     only: "list[str] | None" = None,
     echo: bool = False,
+    claim: bool = False,
+    merge_only: bool = False,
 ) -> ReproductionReport:
     """Regenerate the manifest's artifacts into ``results_dir``.
 
@@ -265,11 +274,25 @@ def run_reproduction(
         Optional artifact-name filter (manifest order is kept).
     echo:
         Print each artifact's table as soon as it is regenerated.
+    claim:
+        Multi-node mode: claim each shard through the store before
+        computing it, so several hosts pointing ``reproduce`` at one
+        shared store directory partition the manifest's shards between
+        them (see ``docs/scaling.md``). Requires ``store``.
+    merge_only:
+        Assemble artifacts purely from previously computed shards;
+        raises if any shard is missing. Requires ``store``; mutually
+        exclusive with ``claim``.
     """
     results_dir = Path(results_dir)
     results_dir.mkdir(parents=True, exist_ok=True)
     if store is not None and not isinstance(store, ExperimentStore):
         store = ExperimentStore(store)
+    if (claim or merge_only) and store is None:
+        raise ValueError(
+            "claim/merge_only coordinate through the experiment "
+            "store; pass store= as well"
+        )
     store_root = store.root if store is not None else None
 
     selected = manifest.select(only)
@@ -280,7 +303,9 @@ def run_reproduction(
         seed = spec.seed_for(manifest.seed)
         before = store.stats.snapshot() if store is not None else StoreStats()
         t0 = time.perf_counter()
-        table, csv_text = _regenerate(spec, seed, workers, store)
+        table, csv_text = _regenerate(
+            spec, seed, workers, store, claim=claim, merge_only=merge_only
+        )
         wall = time.perf_counter() - t0
         cache = (
             store.stats.since(before) if store is not None else StoreStats()

@@ -21,12 +21,21 @@ Durability discipline:
 The store keeps running :class:`StoreStats` counters; callers that need
 per-phase numbers (e.g. the reproduction pipeline's per-artifact cache
 hit-rate) snapshot the counters before and after and diff them.
+
+For multi-node sweeps the store doubles as the coordination medium:
+:meth:`ExperimentStore.try_claim` atomically marks a shard as being
+computed by one worker (``O_CREAT|O_EXCL`` claim files, stale takeover
+via :func:`os.replace`, no coordinator process), so independent hosts
+sharing a store directory partition a sweep between them — see
+``docs/scaling.md``.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterator, Mapping
@@ -54,6 +63,9 @@ class StoreStats:
     writes: int = 0
     invalid: int = 0
     write_errors: int = 0
+    claims: int = 0
+    claim_conflicts: int = 0
+    claims_stolen: int = 0
 
     @property
     def lookups(self) -> int:
@@ -71,6 +83,9 @@ class StoreStats:
             self.writes,
             self.invalid,
             self.write_errors,
+            self.claims,
+            self.claim_conflicts,
+            self.claims_stolen,
         )
 
     def since(self, earlier: "StoreStats") -> "StoreStats":
@@ -81,6 +96,9 @@ class StoreStats:
             writes=self.writes - earlier.writes,
             invalid=self.invalid - earlier.invalid,
             write_errors=self.write_errors - earlier.write_errors,
+            claims=self.claims - earlier.claims,
+            claim_conflicts=self.claim_conflicts - earlier.claim_conflicts,
+            claims_stolen=self.claims_stolen - earlier.claims_stolen,
         )
 
 
@@ -174,6 +192,98 @@ class ExperimentStore:
             raise
         self.stats.writes += 1
         return path
+
+    # -- multi-node work claiming ---------------------------------------
+    # Claims are tiny JSON files under root/claims/<key[:2]>/<key>.claim.
+    # The ``claims/`` subtree is invisible to iter_keys (which globs
+    # ``??/*.npz``), so claim bookkeeping never pollutes the cache view.
+    # Acquisition is O_CREAT|O_EXCL — atomic on every POSIX filesystem,
+    # including NFS since v3 — and stale takeover republishes the claim
+    # via os.replace, so there is no coordinator and no lock server.
+
+    def claim_path_for(self, key: str) -> Path:
+        """Claim-file location for ``key`` (two-level fan-out)."""
+        if len(key) < 3:
+            raise ValueError(f"store key too short: {key!r}")
+        return self.root / "claims" / key[:2] / f"{key}.claim"
+
+    def try_claim(
+        self,
+        key: str,
+        owner: str,
+        stale_after: float | None = None,
+    ) -> bool:
+        """Atomically claim ``key`` for ``owner``; ``True`` if acquired.
+
+        A claim marks a shard as being computed by one worker so
+        independent hosts sharing the store partition a sweep without a
+        coordinator. When ``stale_after`` (seconds) is given, a claim
+        whose file has not been refreshed for longer than that is
+        considered abandoned (e.g. a killed worker) and taken over —
+        takeover republishes the claim file via :func:`os.replace`, so
+        at most the shard is computed twice (at-least-once semantics),
+        never lost.
+        """
+        path = self.claim_path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps({"owner": owner, "key": key}).encode()
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            if stale_after is not None and self._claim_is_stale(
+                path, stale_after
+            ):
+                fd, tmp_name = tempfile.mkstemp(
+                    dir=path.parent, prefix=".tmp-", suffix=".claim"
+                )
+                try:
+                    os.write(fd, payload)
+                finally:
+                    os.close(fd)
+                os.replace(tmp_name, path)  # atomic takeover
+                self.stats.claims += 1
+                self.stats.claims_stolen += 1
+                return True
+            self.stats.claim_conflicts += 1
+            return False
+        try:
+            os.write(fd, payload)
+        finally:
+            os.close(fd)
+        self.stats.claims += 1
+        return True
+
+    def release_claim(self, key: str) -> None:
+        """Drop the claim on ``key`` (missing claims are a no-op)."""
+        try:
+            self.claim_path_for(key).unlink(missing_ok=True)
+        except OSError:  # pragma: no cover - e.g. read-only stores
+            pass
+
+    def claim_owner(self, key: str) -> str | None:
+        """Owner recorded in ``key``'s claim file, or ``None``.
+
+        Damaged claim files (a worker killed mid-write on a filesystem
+        without atomic O_EXCL content) read as owned-by-unknown rather
+        than raising.
+        """
+        path = self.claim_path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            return "<unreadable>"
+        owner = payload.get("owner") if isinstance(payload, dict) else None
+        return owner if isinstance(owner, str) else "<unreadable>"
+
+    @staticmethod
+    def _claim_is_stale(path: Path, stale_after: float) -> bool:
+        try:
+            age = time.time() - path.stat().st_mtime
+        except OSError:  # claim vanished: owner finished or released it
+            return False
+        return age > stale_after
 
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).exists()

@@ -153,6 +153,70 @@ def _build_chaos_trace() -> dict:
     return _trace_payload(env, JoinShortestQueuePolicy(6, 2))
 
 
+def _build_hybrid_trace() -> dict:
+    """Hybrid finite/mean-field family: half the fleet tracked exactly,
+    half closed by the mean-field propagator. Pins the coupling (virtual
+    field-state sampling, arrival-mass split, closure propagation)
+    against stream drift."""
+    from repro.queueing.hybrid_env import BatchedHybridFleetEnv
+
+    env = BatchedHybridFleetEnv(
+        _CONFIG,
+        num_replicas=2,
+        num_tracked=_CONFIG.num_queues // 2,
+        per_packet_randomization=True,
+        seed=_SEED,
+    )
+    return _trace_payload(env, JoinShortestQueuePolicy(6, 2))
+
+
+def _build_claimed_sweep() -> dict:
+    """Two claim-mode executors racing on one shared store directory —
+    an in-process stand-in for two hosts partitioning a sweep. Pins the
+    merged per-replica drops (which the claiming protocol must keep
+    bit-identical to a single-host run) plus the single-host reference
+    itself, so the file fails loudly if either side drifts."""
+    import tempfile
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.experiments.parallel import EvalRequest, SweepExecutor
+    from repro.store.store import ExperimentStore
+
+    requests = [
+        EvalRequest(
+            config=_CONFIG,
+            policy=JoinShortestQueuePolicy(6, 2),
+            num_runs=4,
+            num_epochs=6,
+            seed=_SEED + offset,
+            max_batch_replicas=2,
+            env_kwargs={"per_packet_randomization": True},
+        )
+        for offset in (0, 1)
+    ]
+    single = SweepExecutor(workers=1).run_drops(requests)
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ExperimentStore(tmp)
+
+        def claimant(owner: str):
+            executor = SweepExecutor(
+                workers=1, store=store, claim=True, claim_owner=owner
+            )
+            return executor.run_drops(requests)
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            futures = [pool.submit(claimant, f"node-{i}") for i in (0, 1)]
+            merged = [f.result() for f in futures]
+    for node in merged:
+        for a, b in zip(node, single):
+            assert np.array_equal(a, b)
+    return {
+        "single_host": [drops.tolist() for drops in single],
+        "node_0": [drops.tolist() for drops in merged[0]],
+        "node_1": [drops.tolist() for drops in merged[1]],
+    }
+
+
 def _build_sweep_means() -> dict:
     """Merged sweep means for one scenario per family (tiny grids)."""
     payload = {}
@@ -177,6 +241,8 @@ _BUILDERS = {
     "graph_family_trace.json": _build_graph_trace,
     "compiled_backend_trace.json": _build_compiled_backend_trace,
     "chaos_family_trace.json": _build_chaos_trace,
+    "hybrid_family_trace.json": _build_hybrid_trace,
+    "claimed_sweep_trace.json": _build_claimed_sweep,
     "sweep_means.json": _build_sweep_means,
 }
 
@@ -239,3 +305,13 @@ def test_golden_traces_are_nontrivial():
         m for series in sweep["overload"].values() for m in series["means"]
     ]
     assert max(overload_means) > 0
+    hybrid = json.loads(
+        (GOLDEN_DIR / "hybrid_family_trace.json").read_text()
+    )
+    assert np.asarray(hybrid["queue_states"]).shape == (2, _CONFIG.num_queues // 2)
+    assert np.asarray(hybrid["per_epoch_drops"]).max() > 0
+    claimed = json.loads(
+        (GOLDEN_DIR / "claimed_sweep_trace.json").read_text()
+    )
+    assert claimed["node_0"] == claimed["single_host"] == claimed["node_1"]
+    assert np.asarray(claimed["single_host"][0]).shape == (4,)

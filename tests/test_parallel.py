@@ -219,6 +219,65 @@ class TestExecutor:
         assert drops[0].shape == (6,)
 
 
+class TestClaimedExecution:
+    def test_two_thread_claimants_match_single_host(
+        self, small_config, jsq, tmp_path
+    ):
+        """Two claim-mode executors racing on one store (threads as an
+        in-process stand-in for hosts) both merge bit-identically to a
+        plain single-executor run, and together compute each of the 3
+        shards exactly once."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.store.store import ExperimentStore
+
+        requests = [_request(small_config, jsq)]
+        single = SweepExecutor(workers=1).run_drops(requests)
+        store = ExperimentStore(tmp_path / "store")
+
+        def claimant(owner):
+            executor = SweepExecutor(
+                workers=1, store=store, claim=True, claim_owner=owner
+            )
+            return executor.run_drops(requests)
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            futures = [pool.submit(claimant, f"node-{i}") for i in (0, 1)]
+            merged = [f.result() for f in futures]
+        for node in merged:
+            np.testing.assert_array_equal(node[0], single[0])
+        assert store.stats.writes == 3
+
+    def test_execution_context_carries_claim_flags(
+        self, small_config, jsq, tmp_path
+    ):
+        from repro.execution import ExecutionContext
+        from repro.store.store import ExperimentStore
+
+        store = ExperimentStore(tmp_path / "store")
+        context = ExecutionContext(workers=1, store=store, claim=True)
+        executor = SweepExecutor(context=context)
+        assert executor.claim and executor.store is store
+        claimed = executor.run_drops([_request(small_config, jsq)])
+        plain = SweepExecutor(workers=1).run_drops(
+            [_request(small_config, jsq)]
+        )
+        np.testing.assert_array_equal(claimed[0], plain[0])
+
+    def test_context_validates_claim_flags(self, tmp_path):
+        from repro.execution import ExecutionContext
+        from repro.store.store import ExperimentStore
+
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            ExecutionContext(
+                store=ExperimentStore(tmp_path / "s"),
+                claim=True,
+                merge_only=True,
+            )
+        with pytest.raises(ValueError, match="experiment store"):
+            ExecutionContext(claim=True)
+
+
 class TestFigureWorkers:
     def test_fig5_workers_invariant(self, small_config):
         from repro.experiments.fig5_delay_sweep import run_fig5

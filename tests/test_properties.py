@@ -450,6 +450,175 @@ def test_numba_loops_match_numpy_kernel_bitwise(params, num_clients):
     np.testing.assert_array_equal(da, db)
 
 
+# ---------------------------------------------------------------------------
+# Hybrid finite/mean-field fleet limits (exact subsystem + field closure)
+# ---------------------------------------------------------------------------
+
+
+@given(params=BATCH_CONFIGS, num_replicas=st.integers(1, 3))
+@settings(max_examples=25, deadline=None)
+def test_hybrid_all_tracked_bit_identical_to_dense(params, num_replicas):
+    """With ``M_field = 0`` the hybrid fleet *is* the dense batched env:
+    every draw shape and elementwise operation matches, so per-epoch
+    drops, state trajectories and arrival modes are bit-identical under
+    a shared seed — in both committed and per-packet modes."""
+    from repro.policies.static import JoinShortestQueuePolicy
+    from repro.queueing.batched_env import (
+        BatchedFiniteSystemEnv,
+        run_episodes_batched,
+    )
+    from repro.queueing.hybrid_env import BatchedHybridFleetEnv
+
+    config = _batch_config(params)
+    policy = JoinShortestQueuePolicy(config.num_queue_states, config.d)
+    dense = BatchedFiniteSystemEnv(
+        config,
+        num_replicas=num_replicas,
+        per_packet_randomization=params["per_packet"],
+        seed=params["seed"],
+    )
+    hybrid = BatchedHybridFleetEnv(
+        config,
+        num_replicas=num_replicas,
+        num_tracked=config.num_queues,
+        per_packet_randomization=params["per_packet"],
+        seed=params["seed"],
+    )
+    a = run_episodes_batched(dense, policy, num_epochs=5, seed=params["seed"])
+    b = run_episodes_batched(hybrid, policy, num_epochs=5, seed=params["seed"])
+    assert np.array_equal(a.per_epoch_drops, b.per_epoch_drops)
+    assert np.array_equal(dense.queue_states, hybrid.queue_states)
+    assert np.array_equal(dense.lam_modes, hybrid.lam_modes)
+
+
+@given(params=BATCH_CONFIGS, num_replicas=st.integers(1, 3))
+@settings(max_examples=15, deadline=None)
+def test_hybrid_all_field_reduces_to_mean_field_trajectory(
+    params, num_replicas
+):
+    """With ``M_track = 0`` no client sampling happens and the closure
+    performs the mean-field propagator's exact operations: the hybrid
+    trajectory agrees with :func:`mean_field_trajectory` to <= 1e-10 for
+    any config, replica count and scripted mode sequence."""
+    from repro.meanfield.convergence import mean_field_trajectory
+    from repro.policies.static import JoinShortestQueuePolicy
+    from repro.queueing.arrivals import ScriptedRate
+    from repro.queueing.hybrid_env import BatchedHybridFleetEnv
+
+    config = _batch_config(params)
+    policy = JoinShortestQueuePolicy(config.num_queue_states, config.d)
+    epochs = 6
+    modes = np.random.default_rng(params["seed"]).integers(
+        0, 2, size=epochs, dtype=np.int64
+    )
+    levels = (config.arrival_rate_high, config.arrival_rate_low)
+    env = BatchedHybridFleetEnv(
+        config,
+        num_replicas=num_replicas,
+        num_tracked=0,
+        arrival_process=ScriptedRate(levels, modes),
+        per_packet_randomization=params["per_packet"],
+        seed=params["seed"],
+    )
+    nus, _ = mean_field_trajectory(config, policy, modes)
+    hists = env.reset()
+    assert np.abs(hists - nus[0]).max() <= 1e-10
+    for t in range(epochs):
+        hists, _, info = env.step_with_policy(policy)
+        assert np.abs(hists - nus[t + 1]).max() <= 1e-10
+        # All arrival mass lands in the field half.
+        assert info["arrival_rates"].shape == (num_replicas, 0)
+        np.testing.assert_allclose(
+            info["field_arrival_mass"],
+            config.num_queues * np.full(num_replicas, levels[modes[t]]),
+            rtol=1e-12,
+        )
+
+
+@given(params=BATCH_CONFIGS, num_replicas=st.integers(1, 2))
+@settings(max_examples=10, deadline=None)
+def test_hybrid_all_field_reduces_to_delayed_trajectory(
+    params, num_replicas
+):
+    """The delayed hybrid fleet at ``M_track = 0`` replays the
+    delay-mixture propagator exactly: agreement with
+    :func:`delayed_mean_field_trajectory` to <= 1e-10."""
+    from repro.meanfield.delayed import delayed_mean_field_trajectory
+    from repro.policies.static import JoinShortestQueuePolicy
+    from repro.queueing.arrivals import ScriptedRate
+    from repro.queueing.delays import IIDDelay
+    from repro.queueing.hybrid_env import BatchedHybridFleetEnv
+
+    config = _batch_config(params)
+    policy = JoinShortestQueuePolicy(config.num_queue_states, config.d)
+    delay_model = IIDDelay((0.5, 0.3, 0.2))
+    epochs = 5
+    modes = np.random.default_rng(params["seed"]).integers(
+        0, 2, size=epochs, dtype=np.int64
+    )
+    levels = (config.arrival_rate_high, config.arrival_rate_low)
+    env = BatchedHybridFleetEnv(
+        config,
+        num_replicas=num_replicas,
+        num_tracked=0,
+        delay_model=delay_model,
+        arrival_process=ScriptedRate(levels, modes),
+        per_packet_randomization=True,
+        seed=params["seed"],
+    )
+    nus, _ = delayed_mean_field_trajectory(config, policy, modes, delay_model)
+    hists = env.reset()
+    assert np.abs(hists - nus[0]).max() <= 1e-10
+    for t in range(epochs):
+        hists, _, _ = env.step_with_policy(policy)
+        assert np.abs(hists - nus[t + 1]).max() <= 1e-10
+
+
+@given(
+    params=BATCH_CONFIGS,
+    num_replicas=st.integers(1, 3),
+    tracked_frac=st.floats(0.0, 1.0),
+)
+@settings(max_examples=25, deadline=None)
+def test_hybrid_conserves_arrival_mass_under_random_splits(
+    params, num_replicas, tracked_frac
+):
+    """For every tracked/field split the offered arrival mass is
+    partitioned exactly: ``tracked rates + field mass == M * lambda``
+    each epoch, so the closure never invents or loses load."""
+    from repro.policies.static import JoinShortestQueuePolicy
+    from repro.queueing.hybrid_env import BatchedHybridFleetEnv
+
+    config = _batch_config(params)
+    policy = JoinShortestQueuePolicy(config.num_queue_states, config.d)
+    num_tracked = int(round(tracked_frac * config.num_queues))
+    env = BatchedHybridFleetEnv(
+        config,
+        num_replicas=num_replicas,
+        num_tracked=num_tracked,
+        per_packet_randomization=params["per_packet"],
+        seed=params["seed"],
+    )
+    env.reset()
+    m = config.num_queues
+    for _ in range(4):
+        offered = m * env.current_rates
+        _, _, info = env.step_with_policy(policy)
+        absorbed = info["arrival_rates"].sum(axis=1) + info[
+            "field_arrival_mass"
+        ]
+        np.testing.assert_allclose(absorbed, offered, rtol=1e-12)
+        assert info["arrival_rates"].shape == (num_replicas, num_tracked)
+        if num_tracked == m:
+            assert np.all(info["field_arrival_mass"] == 0.0)
+        # Drop accounting splits the same way.
+        np.testing.assert_allclose(
+            info["drops_total"],
+            info["tracked_drops"] + info["field_drops"],
+            rtol=1e-12,
+        )
+
+
 @given(
     params=BATCH_CONFIGS,
     num_runs=st.integers(2, 5),

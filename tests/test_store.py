@@ -322,6 +322,167 @@ class TestExecutorCaching:
         assert store.stats.since(before).misses == 0
 
 
+class TestClaimProtocol:
+    KEY = "ab" + "6" * 62
+
+    def test_claim_acquire_conflict_release_cycle(self, store):
+        assert store.try_claim(self.KEY, "node-a")
+        assert store.claim_owner(self.KEY) == "node-a"
+        assert not store.try_claim(self.KEY, "node-b")
+        assert store.stats.claim_conflicts == 1
+        store.release_claim(self.KEY)
+        assert store.claim_owner(self.KEY) is None
+        assert store.try_claim(self.KEY, "node-b")
+        assert store.stats.claims == 2
+
+    def test_claims_invisible_to_cache_view(self, store):
+        store.try_claim(self.KEY, "node-a")
+        assert list(store.iter_keys()) == []
+        assert len(store) == 0
+        assert self.KEY not in store
+
+    def test_stale_claim_taken_over(self, store):
+        import os
+        import time
+
+        assert store.try_claim(self.KEY, "dead-node")
+        path = store.claim_path_for(self.KEY)
+        old = time.time() - 3600.0
+        os.utime(path, (old, old))
+        # A fresh-looking claim survives...
+        assert not store.try_claim(self.KEY, "rescuer", stale_after=7200.0)
+        # ...an abandoned one is republished atomically.
+        assert store.try_claim(self.KEY, "rescuer", stale_after=60.0)
+        assert store.stats.claims_stolen == 1
+        assert store.claim_owner(self.KEY) == "rescuer"
+
+    def test_damaged_claim_reads_as_unknown_owner(self, store):
+        store.try_claim(self.KEY, "node-a")
+        store.claim_path_for(self.KEY).write_text("not json{")
+        assert store.claim_owner(self.KEY) == "<unreadable>"
+
+
+def _claimed_sweep_worker(store_root, owner, queue):
+    """One 'node' of a shared-store sweep (multiprocessing target)."""
+    config = _config()
+    requests = [
+        _request(
+            config, JoinShortestQueuePolicy(config.num_queue_states, config.d)
+        ),
+        _request(config, RandomPolicy(config.num_queue_states, config.d)),
+    ]
+    store = ExperimentStore(store_root)
+    executor = SweepExecutor(
+        workers=1, store=store, claim=True, claim_owner=owner
+    )
+    merged = executor.run_drops(requests)
+    queue.put((owner, [d.tolist() for d in merged], store.stats.writes))
+
+
+class TestMultiNodeClaiming:
+    def _requests(self, config, jsq, rnd):
+        return [_request(config, jsq), _request(config, rnd)]
+
+    def test_two_processes_partition_sweep_no_shard_twice(
+        self, config, jsq, rnd, tmp_path
+    ):
+        """Two OS processes claim-and-run the same manifest against one
+        shared store. The claiming protocol must partition the 6 shards
+        (writes sum to exactly 6 — nothing computed twice) and both
+        nodes must merge bit-identically to a single-host run."""
+        import multiprocessing as mp
+
+        cold = SweepExecutor(workers=1).run_drops(
+            self._requests(config, jsq, rnd)
+        )
+        store_root = tmp_path / "shared-store"
+        queue = mp.Queue()
+        nodes = [
+            mp.Process(
+                target=_claimed_sweep_worker,
+                args=(store_root, f"node-{i}", queue),
+            )
+            for i in (0, 1)
+        ]
+        for node in nodes:
+            node.start()
+        results = {}
+        for _ in nodes:
+            owner, merged, writes = queue.get(timeout=120)
+            results[owner] = (merged, writes)
+        for node in nodes:
+            node.join(timeout=30)
+            assert node.exitcode == 0
+        assert sum(writes for _, writes in results.values()) == 6
+        for merged, _ in results.values():
+            for a, b in zip(merged, cold):
+                np.testing.assert_array_equal(np.asarray(a), b)
+
+    def test_stale_claim_of_killed_node_is_recovered(self, config, jsq, store):
+        """A claimant that died mid-shard leaves a claim file behind;
+        a later node must take it over once it ages past the stale
+        threshold and still produce the single-host numbers."""
+        import os
+        import time
+
+        requests = [_request(config, jsq)]
+        cold = SweepExecutor(workers=1).run_drops(requests)
+        shards = _decompose(requests)
+        dead_key = shard_key(requests[0], shards[0])
+        assert store.try_claim(dead_key, "killed-node")
+        path = store.claim_path_for(dead_key)
+        old = time.time() - 3600.0
+        os.utime(path, (old, old))
+        rescuer = SweepExecutor(
+            workers=1, store=store, claim=True,
+            claim_owner="rescuer", stale_claim_after=60.0,
+        )
+        merged = rescuer.run_drops(requests)
+        np.testing.assert_array_equal(merged[0], cold[0])
+        assert store.stats.claims_stolen == 1
+        assert store.stats.writes == 3
+
+    def test_live_foreign_claim_times_out(self, config, jsq, store):
+        """A fresh claim held by another (live) node blocks the shard;
+        claim_timeout turns the indefinite wait into a loud error."""
+        requests = [_request(config, jsq)]
+        shards = _decompose(requests)
+        busy_key = shard_key(requests[0], shards[0])
+        assert store.try_claim(busy_key, "busy-node")
+        executor = SweepExecutor(
+            workers=1, store=store, claim=True,
+            claim_poll_interval=0.01, claim_timeout=0.1,
+        )
+        with pytest.raises(TimeoutError, match="still claimed"):
+            executor.run_drops(requests)
+
+    def test_merge_only_cold_store_raises(self, config, jsq, store):
+        executor = SweepExecutor(workers=1, store=store, merge_only=True)
+        with pytest.raises(RuntimeError, match="missing 3 shard"):
+            executor.run_drops([_request(config, jsq)])
+
+    def test_merge_only_warm_store_computes_nothing(self, config, jsq, store):
+        requests = [_request(config, jsq)]
+        first = SweepExecutor(workers=1, store=store).run_drops(requests)
+        before = store.stats.snapshot()
+        merged = SweepExecutor(
+            workers=1, store=store, merge_only=True
+        ).run_drops(requests)
+        delta = store.stats.since(before)
+        np.testing.assert_array_equal(merged[0], first[0])
+        assert delta.writes == 0 and delta.misses == 0
+        assert delta.hits == 3
+
+    def test_claim_and_merge_only_mutually_exclusive(self, store):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            SweepExecutor(workers=1, store=store, claim=True, merge_only=True)
+
+    @pytest.mark.parametrize("flag", ["claim", "merge_only"])
+    def test_claiming_requires_a_store(self, flag):
+        with pytest.raises(ValueError, match="experiment store"):
+            SweepExecutor(workers=1, **{flag: True})
+
+
 TINY_MANIFEST = """
 title = "tiny"
 seed = 0
