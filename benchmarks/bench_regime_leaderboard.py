@@ -1,0 +1,215 @@
+#!/usr/bin/env python3
+"""Training-campaign leaderboard: regime checkpoints vs transplants.
+
+Runs the ``leaderboard`` scenario (stochastic-delay finite system,
+matched seeds across policies) and checks the orderings the campaign
+exists to produce:
+
+* **paper ranking under staleness** — from ``Δt = 5`` on, the learned
+  mean-field policy beats both static baselines: ``MF-regime`` drops
+  stay at or below ``JSQ(2)`` and ``RND`` (the finite-system face of
+  the paper's Figure-5 crossover);
+* **native beats transplant** — on the mean drop rate across the stale
+  delays ``Δt ∈ {5, 7, 10}``, the natively trained, age-conditioned
+  campaign checkpoints (``MF-regime``) incur fewer drops than the paper
+  checkpoints transplanted across the delay regime (``MF``). The
+  comparison is per-set, not per-delay, because of the campaign's
+  keep-best guard: a regime where fine-tuning regressed on the paired
+  finite evaluation ships the *exact* warm start, so its two columns
+  are bit-identical ties and the strict improvement is carried by the
+  regimes where training won (the per-regime ``kept`` verdicts are
+  reported in the JSON). This assertion only engages when the packaged
+  campaign checkpoints are present (``source == "checkpoint"``); on a
+  cold checkout the columns coincide and the bench reports the
+  degenerate sources instead of failing.
+
+A machine-readable summary lands in ``BENCH_regime_leaderboard.json``
+(CI uploads it as an artifact per commit).
+
+Runs standalone or under pytest-benchmark:
+
+    PYTHONPATH=src python benchmarks/bench_regime_leaderboard.py [--quick]
+    PYTHONPATH=src python -m pytest benchmarks/bench_regime_leaderboard.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.execution import ExecutionContext
+from repro.experiments.campaign import get_regime_policy
+from repro.scenarios import run_scenario
+
+DEFAULT_JSON = Path("BENCH_regime_leaderboard.json")
+#: The delays where the learned policy must dominate the baselines.
+STALE_DELTA_TS = (5.0, 7.0, 10.0)
+
+
+def _kept_verdict(delta_t: float) -> str | None:
+    """Keep-best verdict recorded in the packaged campaign checkpoint.
+
+    ``"trained"`` means fine-tuning beat the warm start on the paired
+    finite evaluation; ``"warm-start"`` means the checkpoint is the
+    exact transplant (fine-tuning regressed and was discarded).
+    """
+    from repro.experiments.campaign import regime_checkpoint_path
+    from repro.utils.serialization import load_npz_checkpoint
+
+    path = regime_checkpoint_path(f"dt{delta_t:g}")
+    if not path.exists():
+        return None
+    _, meta = load_npz_checkpoint(path)
+    return meta.get("kept")
+
+
+def run_bench(
+    quick: bool = False,
+    seed: int = 0,
+    workers: int = 1,
+    json_path: Path | None = DEFAULT_JSON,
+) -> dict:
+    delta_ts = (1.0, 5.0) if quick else (1.0, 3.0, 5.0, 7.0, 10.0)
+    num_queues = 25 if quick else 100
+    num_runs = 2 if quick else 5
+
+    result = run_scenario(
+        "leaderboard",
+        delta_ts=delta_ts,
+        num_queues=num_queues,
+        num_runs=num_runs,
+        seed=seed,
+        context=ExecutionContext(workers=workers),
+    )
+    print(result.format_table())
+
+    sources = {dt: get_regime_policy(dt)[1] for dt in delta_ts}
+    native = all(src == "checkpoint" for src in sources.values())
+    print(
+        "\nMF-regime checkpoint sources — "
+        + ", ".join(f"Δt={dt:g}: {src}" for dt, src in sources.items())
+    )
+    kept = {dt: _kept_verdict(dt) for dt in delta_ts}
+    if native:
+        print(
+            "keep-best verdicts — "
+            + ", ".join(f"Δt={dt:g}: {v}" for dt, v in kept.items())
+        )
+
+    drops = {
+        name: [float(x) for x in result.mean_series(name)]
+        for name in result.results
+    }
+    stats = {
+        "benchmark": "regime_leaderboard",
+        "mode": "quick" if quick else "full",
+        "scale": {
+            "num_queues": num_queues,
+            "num_clients": result.num_clients,
+            "num_runs": num_runs,
+            "seed": seed,
+        },
+        "delta_ts": list(delta_ts),
+        "mean_drops": drops,
+        "winners": {f"{dt:g}": result.winner_at(dt) for dt in delta_ts},
+        "regime_checkpoint_sources": {
+            f"{dt:g}": src for dt, src in sources.items()
+        },
+        "regime_kept_verdicts": {f"{dt:g}": v for dt, v in kept.items()},
+        "native_checkpoints": native,
+    }
+    if json_path is not None:
+        json_path.write_text(json.dumps(stats, indent=2) + "\n")
+        print(f"[json written to {json_path}]")
+
+    for series in drops.values():
+        assert all(np.isfinite(series)), "non-finite drop estimate"
+    if not quick:
+        stale = [dt for dt in delta_ts if dt in STALE_DELTA_TS]
+        for dt in stale:
+            i = delta_ts.index(dt)
+            mf_regime = drops["MF-regime"][i]
+            assert mf_regime <= drops["JSQ(2)"][i], (
+                f"MF-regime loses to JSQ at Δt={dt:g}: "
+                f"{mf_regime:.3f} vs {drops['JSQ(2)'][i]:.3f}"
+            )
+            assert mf_regime <= drops["RND"][i], (
+                f"MF-regime loses to RND at Δt={dt:g}: "
+                f"{mf_regime:.3f} vs {drops['RND'][i]:.3f}"
+            )
+        if native:
+            # The acceptance bar of the campaign: on the mean drop rate
+            # across the stale delays, native training strictly improves
+            # on transplantation. Keep-best regimes that fell back to
+            # their warm start contribute exact ties (never losses);
+            # the strict margin comes from the kept-trained regimes.
+            for dt in stale:
+                i = delta_ts.index(dt)
+                assert drops["MF-regime"][i] <= drops["MF"][i] or kept[
+                    dt
+                ] == "trained", (
+                    f"warm-kept regime checkpoint differs from its "
+                    f"transplant at Δt={dt:g}: {drops['MF-regime'][i]:.3f} "
+                    f"vs {drops['MF'][i]:.3f}"
+                )
+            idx = [delta_ts.index(dt) for dt in stale]
+            regime_mean = float(np.mean([drops["MF-regime"][i] for i in idx]))
+            transplant_mean = float(np.mean([drops["MF"][i] for i in idx]))
+            assert regime_mean < transplant_mean, (
+                f"native regime checkpoints do not beat the transplants "
+                f"on the stale-set mean drop rate: {regime_mean:.3f} vs "
+                f"{transplant_mean:.3f}"
+            )
+        else:
+            print(
+                "[native-vs-transplant assertion skipped: campaign "
+                "checkpoints not packaged — run "
+                "scripts/train_regime_policies.py]"
+            )
+    return stats
+
+
+def test_regime_leaderboard(benchmark, results_dir):
+    """pytest-benchmark entry point (full run)."""
+    from conftest import run_once
+
+    stats = run_once(benchmark, run_bench, quick=False)
+    (results_dir / "regime_leaderboard.txt").write_text(
+        json.dumps(stats["winners"], indent=2) + "\n"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small grid, no ranking assertions (CI smoke)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="process count for the sharded sweep",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=DEFAULT_JSON,
+        help=f"machine-readable output path (default {DEFAULT_JSON})",
+    )
+    args = parser.parse_args(argv)
+    run_bench(
+        quick=args.quick,
+        seed=args.seed,
+        workers=args.workers,
+        json_path=args.json,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

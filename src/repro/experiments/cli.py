@@ -11,6 +11,7 @@ shell::
     python -m repro.experiments.cli fig6 --queues 100 --runs 5
     python -m repro.experiments.cli scenario list
     python -m repro.experiments.cli scenario heterogeneous-sed --workers 4
+    python -m repro.experiments.cli leaderboard --workers 4
     python -m repro.experiments.cli stream diurnal-stream --horizon 100000
     python -m repro.experiments.cli reproduce --workers 4
 
@@ -196,6 +197,31 @@ def build_parser() -> argparse.ArgumentParser:
     _add_store_flag(ps)
     _add_sim_backend_flag(ps)
     _add_claim_flags(ps)
+
+    plb = sub.add_parser(
+        "leaderboard",
+        help="training-campaign leaderboard: natively trained MF-regime "
+        "checkpoints vs transplanted MF vs JSQ/RND/THR under matched "
+        "seeds (the 'leaderboard' scenario, plus checkpoint provenance)",
+    )
+    plb.add_argument(
+        "--delta-ts", type=_parse_floats, default=None,
+        help="override the leaderboard's delay grid",
+    )
+    plb.add_argument(
+        "--queues", type=_positive_int, default=None,
+        help="override M (N follows the scenario's client rule)",
+    )
+    plb.add_argument(
+        "--runs", type=_positive_int, default=None,
+        help="override the Monte-Carlo replica count",
+    )
+    plb.add_argument("--seed", type=int, default=0)
+    plb.add_argument("--csv", type=Path, default=None)
+    _add_workers_flag(plb)
+    _add_store_flag(plb)
+    _add_sim_backend_flag(plb)
+    _add_claim_flags(plb)
 
     pstream = sub.add_parser(
         "stream",
@@ -479,6 +505,26 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
             _emit(result.format_table(), result, args.csv)
+    elif args.command == "leaderboard":
+        from repro.experiments.campaign import get_regime_policy
+        from repro.scenarios import run_scenario
+
+        _check_claim_flags(parser, args)
+        result = run_scenario(
+            "leaderboard",
+            delta_ts=args.delta_ts,
+            num_queues=args.queues,
+            num_runs=args.runs,
+            seed=args.seed,
+            context=_execution_context(args),
+        )
+        _emit(result.format_table(), result, args.csv)
+        # Provenance footer: whether each MF-regime column came from a
+        # native campaign checkpoint or a fallback (cold checkout).
+        sources = ", ".join(
+            f"Δt={dt:g}: {get_regime_policy(dt)[1]}" for dt in result.delta_ts
+        )
+        print(f"\nMF-regime checkpoint sources — {sources}")
     elif args.command == "stream":
         from repro.serving import run_stream_scenario
 

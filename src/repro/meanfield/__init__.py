@@ -48,11 +48,25 @@ from repro.meanfield.delayed import (
     delayed_local_epoch_update,
     delayed_mean_field_trajectory,
 )
+from repro.meanfield.delayed_env import DelayedMeanFieldEnv
+from repro.meanfield.features import (
+    ObservationFeatures,
+    age_context,
+    mean_occupancy,
+    regime_age_context,
+    regime_age_contexts_batch,
+)
 from repro.meanfield.hybrid import HybridFieldClosure
 
 __all__ = [
     "HybridFieldClosure",
+    "DelayedMeanFieldEnv",
     "DelayedMeanFieldPropagator",
+    "ObservationFeatures",
+    "age_context",
+    "mean_occupancy",
+    "regime_age_context",
+    "regime_age_contexts_batch",
     "delayed_arrival_rates",
     "delayed_local_epoch_update",
     "delayed_mean_field_trajectory",

@@ -1,0 +1,201 @@
+"""MFC MDP under stochastic observation delays (training environment).
+
+:class:`DelayedMeanFieldEnv` is the :class:`repro.meanfield.mfc_env.MeanFieldEnv`
+of the delayed-information regimes: the epoch map runs through the
+delay-mixture closure of
+:class:`repro.meanfield.delayed.DelayedMeanFieldPropagator` (a fraction
+``p_k`` of dispatchers routes against the law from ``k`` epochs back),
+the delay regime follows the model's exogenous Markov chain, and the
+observation can carry the regime-context features of
+:class:`repro.meanfield.features.ObservationFeatures`.
+
+Two exactness guarantees keep it a drop-in replacement:
+
+* With a point mass at age 0 the dynamics take the parent's exact code
+  path (same propagator call, same RNG draws) — **bit-identical** to
+  :class:`MeanFieldEnv`, not merely close.
+* With features off the observation is exactly ``[ν, one_hot(λ mode)]``.
+
+This is the environment the per-regime training campaign collects from;
+the finite-system counterpart is
+:class:`repro.queueing.delayed_env.BatchedDelayedFiniteEnv`, which
+consumes the same :class:`repro.queueing.delays.DelayModel` objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.meanfield.decision_rule import DecisionRule
+from repro.meanfield.delayed import DelayedMeanFieldPropagator
+from repro.meanfield.features import (
+    ObservationFeatures,
+    age_context,
+    regime_age_context,
+)
+from repro.meanfield.mfc_env import MeanFieldEnv
+from repro.queueing.arrivals import MarkovModulatedRate
+from repro.queueing.delays import DelayModel, DeterministicDelay
+
+__all__ = ["DelayedMeanFieldEnv"]
+
+
+class DelayedMeanFieldEnv(MeanFieldEnv):
+    """Mean-field control MDP with delayed snapshots and context features.
+
+    Parameters
+    ----------
+    config, horizon, propagator, arrival_process, seed:
+        As in :class:`repro.meanfield.mfc_env.MeanFieldEnv`.
+    delay_model:
+        Snapshot-age model; defaults to the paper's synchronous
+        broadcast (:class:`repro.queueing.delays.DeterministicDelay`
+        with ``k = 0``), under which this class is bit-identical to the
+        parent.
+    features:
+        Context features appended to the observation. Age features are
+        the *stationary* context of ``delay_model`` (frozen per
+        environment — see :func:`repro.meanfield.features.age_context`),
+        matching what a deployed :class:`repro.policies.learned.NeuralPolicy`
+        sees through plumbing without a live channel. With
+        ``features.live_age`` they are instead the *current* delay
+        regime's conditional context
+        (:func:`repro.meanfield.features.regime_age_context`), matching
+        the per-replica live channel of
+        :meth:`repro.queueing.delayed_env.BatchedDelayedFiniteEnv.step_with_policy`.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        horizon: int | None = None,
+        propagator: str = "exact",
+        arrival_process: MarkovModulatedRate | None = None,
+        seed: int | np.random.Generator | None = None,
+        delay_model: DelayModel | None = None,
+        features: ObservationFeatures | None = None,
+    ) -> None:
+        super().__init__(
+            config,
+            horizon=horizon,
+            propagator=propagator,
+            arrival_process=arrival_process,
+            seed=seed,
+        )
+        self.delay_model = (
+            delay_model if delay_model is not None else DeterministicDelay(0)
+        )
+        self.features = features if features is not None else ObservationFeatures()
+        self._age_context = (
+            age_context(self.delay_model) if self.features.age else None
+        )
+        self._regime: int = 0
+        self._delayed: DelayedMeanFieldPropagator | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def observation_size(self) -> int:
+        return super().observation_size + self.features.extra_dims
+
+    @property
+    def delay_regime(self) -> int:
+        """Current delay regime (0 for single-regime models)."""
+        return self._regime
+
+    @property
+    def _exact_dynamics(self) -> bool:
+        """Age-0 point mass: use the parent's exact epoch map."""
+        return self.delay_model.max_delay == 0
+
+    def live_age_context(self) -> tuple[float, float]:
+        """Age context of the *current* delay regime (no randomness)."""
+        return regime_age_context(self.delay_model, self._regime)
+
+    def observation(self) -> np.ndarray:
+        base = super().observation()
+        age = (
+            self.live_age_context()
+            if self.features.live_age
+            else self._age_context
+        )
+        extra = self.features.vector(self._nu, age=age)
+        if extra.size == 0:
+            return base
+        return np.concatenate([base, extra])
+
+    # ------------------------------------------------------------------
+    def clone(
+        self, seed: int | np.random.Generator | None = None
+    ) -> "DelayedMeanFieldEnv":
+        env = DelayedMeanFieldEnv(
+            self.config,
+            horizon=self.horizon,
+            propagator="exact",
+            arrival_process=self.arrivals.replica(),
+            seed=seed,
+            delay_model=self.delay_model.replica(),
+            features=self.features,
+        )
+        env._propagator = self._propagator
+        env.propagator_kind = self.propagator_kind
+        return env
+
+    def reset(
+        self, seed: int | np.random.Generator | None = None
+    ) -> np.ndarray:
+        super().reset(seed)
+        # Single-regime models draw nothing: keeps the age-0 case on the
+        # parent's exact RNG stream.
+        if self.delay_model.num_regimes > 1:
+            self._regime = int(
+                self.delay_model.sample_initial_regimes_batch(1, self._rng)[0]
+            )
+        else:
+            self._regime = 0
+        if not self._exact_dynamics:
+            self._delayed = DelayedMeanFieldPropagator(
+                self._nu,
+                self.delay_model.max_delay,
+                self.config.service_rate,
+                self.config.delta_t,
+            )
+        return self.observation()
+
+    def step(self, rule: DecisionRule) -> tuple[np.ndarray, float, bool, dict]:
+        if self._exact_dynamics:
+            # Parent path: bit-identical dynamics, observation() above
+            # still appends any enabled features.
+            obs, reward, done, info = super().step(rule)
+            info["delay_regime"] = self._regime
+            return obs, reward, done, info
+        if self._nu is None or self._delayed is None:
+            raise RuntimeError("environment must be reset before use")
+        if rule.num_states != self.num_queue_states or rule.d != self.config.d:
+            raise ValueError(
+                f"rule has (S={rule.num_states}, d={rule.d}), environment "
+                f"expects (S={self.num_queue_states}, d={self.config.d})"
+            )
+        lam = self.current_rate
+        pmf = self.delay_model.pmf(self._regime)
+        nu_next, drops = self._delayed.step(rule, lam, pmf)
+        self._nu = nu_next
+        self._lam_mode = self.arrivals.step_mode(self._lam_mode, self._rng)
+        if self.delay_model.num_regimes > 1:
+            self._regime = int(
+                self.delay_model.step_regimes_batch(
+                    np.array([self._regime]), self._rng
+                )[0]
+            )
+        self._t += 1
+        done = self._t >= self.horizon
+        reward = -self.config.drop_penalty * drops
+        info = {
+            "drops": drops,
+            "lam": lam,
+            "t": self._t,
+            "truncated": done,
+            "delay_regime": self._regime,
+            "delay_pmf": pmf,
+        }
+        return self.observation(), reward, done, info

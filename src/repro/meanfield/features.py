@@ -1,0 +1,176 @@
+"""Optional observation features for regime-conditioned policies.
+
+The paper's upper-level policy observes ``[ν, one_hot(λ mode)]`` — the
+exact MFC state under synchronous broadcast. The regimes added since
+(stochastic observation delays, sparse graph topologies) leave that
+state observable but make *context* informative: how stale is the
+snapshot a dispatcher population routes on, and how loaded is the
+neighborhood a queue sits in. :class:`ObservationFeatures` appends a
+small, fixed block of such context features to the observation:
+
+* ``age`` (2 dims) — the delay model's mean snapshot age (normalized by
+  its max age ``K``) and stale fraction ``1 - p_0``. By default these
+  are the **stationary** context of the deployment delay model — frozen
+  constants of the information regime (:func:`age_context`). With
+  ``live_age=True`` they are instead the *current regime's* conditional
+  context (:func:`regime_age_context`): the training environment
+  presents the context of the regime the chain is in right now, and the
+  delayed evaluation environments feed the matching per-replica live
+  context through the optional ``age_contexts`` channel of
+  :meth:`repro.policies.learned.NeuralPolicy.decision_rules_batch`.
+  Under the synced/degraded monitoring plane this is a crisp switch —
+  ``(0, 0)`` while synced, ``(mean/K, 1 - p_0)`` while degraded — so a
+  live-age policy can hedge only when its information actually is stale.
+  Plumbing without a live channel falls back to the frozen context.
+* ``occupancy`` (1 dim) — the mean queue occupancy ``E_ν[z] / (S - 1)``
+  of the law the policy is queried on. On graph regimes that law is a
+  neighborhood aggregate, making this the local-load summary that
+  neighborhood-conditioned policies key on (cf. sparse mean-field load
+  balancing, arXiv:2312.12973).
+
+With both flags off (the default) the feature block is empty and the
+observation is bit-identical to the paper's — the age-0 dense case
+reduces exactly to the current input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.queueing.delays import DelayModel
+
+__all__ = [
+    "ObservationFeatures",
+    "age_context",
+    "mean_occupancy",
+    "regime_age_context",
+    "regime_age_contexts_batch",
+]
+
+
+def _pmf_age_context(pmf: np.ndarray, max_delay: int) -> tuple[float, float]:
+    ages = np.arange(pmf.size, dtype=np.float64)
+    mean_age = float(pmf @ ages)
+    return (mean_age / max(max_delay, 1), float(1.0 - pmf[0]))
+
+
+def age_context(delay_model: DelayModel) -> tuple[float, float]:
+    """Frozen age features of a delay model: ``(mean age / K, 1 - p_0)``.
+
+    Computed under the regime chain's stationary distribution, so the
+    pair identifies the information regime a policy was trained for —
+    e.g. ``(0, 0)`` for synchronous broadcast, ``(1, 1)`` for a point
+    mass at the maximum age.
+    """
+    return _pmf_age_context(
+        delay_model.stationary_pmf(), delay_model.max_delay
+    )
+
+
+def regime_age_context(
+    delay_model: DelayModel, regime: int
+) -> tuple[float, float]:
+    """Live age features of one delay regime: ``(mean age / K, 1 - p_0)``
+    under that regime's *conditional* pmf.
+
+    Deterministic given the regime index — computing it draws no
+    randomness, so feeding live context never perturbs an environment's
+    generator stream. Single-regime models reduce to :func:`age_context`.
+    """
+    return _pmf_age_context(delay_model.pmf(regime), delay_model.max_delay)
+
+
+def regime_age_contexts_batch(
+    delay_model: DelayModel, regimes: np.ndarray
+) -> np.ndarray:
+    """Per-replica live age contexts, shape ``(E, 2)``.
+
+    Vectorized :func:`regime_age_context` over a batch of regime
+    indices (the ``delay_regimes`` of a delayed finite environment).
+    """
+    regimes = np.asarray(regimes, dtype=np.intp)
+    pmfs = delay_model.pmfs[regimes]
+    ages = np.arange(pmfs.shape[1], dtype=np.float64)
+    mean_ages = pmfs @ ages
+    return np.column_stack(
+        [mean_ages / max(delay_model.max_delay, 1), 1.0 - pmfs[:, 0]]
+    )
+
+
+def mean_occupancy(nu: np.ndarray) -> float:
+    """Mean queue occupancy of a law, normalized to ``[0, 1]``."""
+    nu = np.asarray(nu, dtype=np.float64)
+    if nu.ndim != 1 or nu.size < 2:
+        raise ValueError("nu must be a law over >= 2 states")
+    states = np.arange(nu.size, dtype=np.float64)
+    return float(states @ nu) / (nu.size - 1)
+
+
+@dataclass(frozen=True)
+class ObservationFeatures:
+    """Which context features to append to ``[ν, one_hot(λ mode)]``.
+
+    Frozen and hashable so it can ride in configuration fingerprints;
+    the default (all off) adds zero dimensions. ``live_age`` switches
+    the two age dimensions from the frozen stationary context to the
+    current delay regime's conditional context; it adds no dimensions
+    of its own.
+    """
+
+    age: bool = False
+    occupancy: bool = False
+    live_age: bool = False
+
+    def __post_init__(self) -> None:
+        if self.live_age and not self.age:
+            raise ValueError("live_age requires age features to be enabled")
+
+    @property
+    def extra_dims(self) -> int:
+        """Number of observation dimensions the feature block adds."""
+        return (2 if self.age else 0) + (1 if self.occupancy else 0)
+
+    def names(self) -> tuple[str, ...]:
+        """Feature names in observation order (for docs and tables)."""
+        out: list[str] = []
+        if self.age:
+            out += ["mean_age_norm", "stale_fraction"]
+        if self.occupancy:
+            out.append("mean_occupancy")
+        return tuple(out)
+
+    def vector(
+        self,
+        nu: np.ndarray,
+        age: tuple[float, float] | None = None,
+    ) -> np.ndarray:
+        """The feature block for one query, shape ``(extra_dims,)``."""
+        parts: list[float] = []
+        if self.age:
+            if age is None:
+                raise ValueError(
+                    "age features enabled but no age context given"
+                )
+            parts += [float(age[0]), float(age[1])]
+        if self.occupancy:
+            parts.append(mean_occupancy(nu))
+        return np.asarray(parts, dtype=np.float64)
+
+    def to_dict(self) -> dict:
+        return {
+            "age": bool(self.age),
+            "occupancy": bool(self.occupancy),
+            "live_age": bool(self.live_age),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict | None) -> "ObservationFeatures":
+        if not data:
+            return cls()
+        return cls(
+            age=bool(data.get("age", False)),
+            occupancy=bool(data.get("occupancy", False)),
+            live_age=bool(data.get("live_age", False)),
+        )

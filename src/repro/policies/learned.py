@@ -16,6 +16,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.meanfield.decision_rule import DecisionRule
+from repro.meanfield.features import ObservationFeatures
 from repro.policies.base import UpperLevelPolicy
 from repro.rl.nn import GaussianPolicyNetwork
 from repro.utils.serialization import load_npz_checkpoint, save_npz_checkpoint
@@ -30,12 +31,23 @@ class NeuralPolicy(UpperLevelPolicy):
     ----------
     network:
         Trained :class:`repro.rl.nn.GaussianPolicyNetwork` whose input is
-        ``[ν, one_hot(λ mode)]`` and whose output parameterizes the raw
-        decision-rule table.
+        ``[ν, one_hot(λ mode)]`` — plus the optional context features of
+        :class:`repro.meanfield.features.ObservationFeatures` — and whose
+        output parameterizes the raw decision-rule table.
     num_states, d, num_modes:
         Rule/observation geometry; must match the network dimensions.
     deterministic:
         Use the Gaussian mean (default) or sample the raw action.
+    features:
+        Context features the network was trained with (default: none,
+        the paper's input). Occupancy is recomputed from the queried
+        law; age features use the frozen ``age_context`` unless the
+        caller supplies live per-replica contexts (``features.live_age``
+        policies queried through delay-aware plumbing).
+    age_context:
+        Frozen ``(mean age / K, stale fraction)`` of the deployment
+        delay regime (see :func:`repro.meanfield.features.age_context`).
+        Required iff ``features.age`` is set; persisted in checkpoints.
     """
 
     def __init__(
@@ -46,12 +58,28 @@ class NeuralPolicy(UpperLevelPolicy):
         num_modes: int = 2,
         deterministic: bool = True,
         label: str = "MF",
+        features: ObservationFeatures | None = None,
+        age_context: tuple[float, float] | None = None,
     ) -> None:
-        expected_obs = num_states + num_modes
+        self.features = features if features is not None else ObservationFeatures()
+        if self.features.age:
+            if age_context is None:
+                raise ValueError(
+                    "features.age requires an age_context (mean age, "
+                    "stale fraction) for the deployment regime"
+                )
+            self.age_context: tuple[float, float] | None = (
+                float(age_context[0]),
+                float(age_context[1]),
+            )
+        else:
+            self.age_context = None
+        expected_obs = num_states + num_modes + self.features.extra_dims
         expected_act = num_states**d * d
         if network.obs_dim != expected_obs:
             raise ValueError(
-                f"network obs_dim {network.obs_dim} != S + modes = {expected_obs}"
+                f"network obs_dim {network.obs_dim} != S + modes + features "
+                f"= {expected_obs}"
             )
         if network.action_dim != expected_act:
             raise ValueError(
@@ -76,7 +104,11 @@ class NeuralPolicy(UpperLevelPolicy):
             raise ValueError(f"lam_mode {lam_mode} out of range")
         one_hot = np.zeros(self.num_modes)
         one_hot[lam_mode] = 1.0
-        return np.concatenate([nu, one_hot])
+        base = np.concatenate([nu, one_hot])
+        extra = self.features.vector(nu, age=self.age_context)
+        if extra.size == 0:
+            return base
+        return np.concatenate([base, extra])
 
     def decision_rule(
         self,
@@ -97,17 +129,50 @@ class NeuralPolicy(UpperLevelPolicy):
         nus: np.ndarray,
         lam_modes: np.ndarray,
         rng: np.random.Generator | None = None,
+        age_contexts: np.ndarray | None = None,
     ) -> list[DecisionRule]:
-        """One network forward pass for all ``E`` replica states."""
+        """One network forward pass for all ``E`` replica states.
+
+        ``age_contexts`` (shape ``(E, 2)``) is the optional live-age
+        channel: per-replica ``(mean age / K, stale fraction)`` of the
+        delay regime each replica is in *right now*, supplied by
+        delay-aware environments for ``features.live_age`` policies.
+        Without it the frozen ``age_context`` is used for every row.
+        """
         nus = np.asarray(nus, dtype=np.float64)
         lam_modes = np.asarray(lam_modes)
         if nus.ndim != 2 or nus.shape[1] != self.num_states:
             raise ValueError(f"nus must have shape (E, {self.num_states})")
         if lam_modes.shape != (nus.shape[0],):
             raise ValueError("need one lam_mode per replica")
+        if age_contexts is not None:
+            if not self.features.age:
+                raise ValueError(
+                    "age_contexts given but this policy has no age features"
+                )
+            age_contexts = np.asarray(age_contexts, dtype=np.float64)
+            if age_contexts.shape != (nus.shape[0], 2):
+                raise ValueError(
+                    f"age_contexts must have shape ({nus.shape[0]}, 2)"
+                )
         one_hot = np.zeros((nus.shape[0], self.num_modes))
         one_hot[np.arange(nus.shape[0]), lam_modes] = 1.0
         obs = np.concatenate([nus, one_hot], axis=1)
+        if self.features.extra_dims:
+            extra = np.stack(
+                [
+                    self.features.vector(
+                        row,
+                        age=(
+                            tuple(age_contexts[i])
+                            if age_contexts is not None
+                            else self.age_context
+                        ),
+                    )
+                    for i, row in enumerate(nus)
+                ]
+            )
+            obs = np.concatenate([obs, extra], axis=1)
         mu, log_std, _ = self.network.forward(obs)
         if self.deterministic or rng is None:
             raw = mu
@@ -128,6 +193,10 @@ class NeuralPolicy(UpperLevelPolicy):
             "num_modes": self.num_modes,
             "hidden_sizes": list(self.network.trunk.hidden_sizes),
             "label": self._label,
+            "features": self.features.to_dict(),
+            "age_context": (
+                list(self.age_context) if self.age_context is not None else None
+            ),
         }
         if extra_meta:
             meta.update(extra_meta)
@@ -143,8 +212,16 @@ class NeuralPolicy(UpperLevelPolicy):
         num_states = int(meta["num_states"])
         d = int(meta["d"])
         num_modes = int(meta["num_modes"])
+        # Pre-campaign checkpoints carry no feature metadata: default off.
+        features = ObservationFeatures.from_dict(meta.get("features"))
+        raw_context = meta.get("age_context")
+        age_context = (
+            (float(raw_context[0]), float(raw_context[1]))
+            if raw_context is not None
+            else None
+        )
         network = GaussianPolicyNetwork(
-            obs_dim=num_states + num_modes,
+            obs_dim=num_states + num_modes + features.extra_dims,
             action_dim=num_states**d * d,
             hidden_sizes=tuple(int(h) for h in meta["hidden_sizes"]),
         )
@@ -161,4 +238,6 @@ class NeuralPolicy(UpperLevelPolicy):
             num_modes=num_modes,
             deterministic=deterministic,
             label=str(meta.get("label", "MF")),
+            features=features,
+            age_context=age_context,
         )

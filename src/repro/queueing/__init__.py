@@ -4,8 +4,10 @@ Implements the ``N``-client ``M``-queue system of Section 2 and the
 evaluation procedure of Algorithm 1, plus an event-driven job-level
 simulator used to cross-validate the frozen-rate epoch model, a
 heterogeneous-server extension, sparse dispatcher topologies,
-non-stationary workload generators (``workloads``) and stochastic
-observation-delay models (``delays``, ``delayed_env``).
+non-stationary workload generators (``workloads``), stochastic
+observation-delay models (``delays``, ``delayed_env``), and an RL
+adapter exposing the finite delayed system as a training MDP
+(``finite_mdp``).
 """
 
 from repro.queueing.arrivals import MarkovModulatedRate
@@ -45,6 +47,7 @@ from repro.queueing.delays import (
     MarkovModulatedDelay,
 )
 from repro.queueing.delayed_env import BatchedDelayedFiniteEnv
+from repro.queueing.finite_mdp import FiniteRegimeEnv
 from repro.queueing.hybrid_env import BatchedHybridFleetEnv
 from repro.queueing.workloads import (
     DiurnalRate,
@@ -81,6 +84,7 @@ __all__ = [
     "IIDDelay",
     "MarkovModulatedDelay",
     "BatchedDelayedFiniteEnv",
+    "FiniteRegimeEnv",
     "BatchedHybridFleetEnv",
     "ProfileRate",
     "DiurnalRate",

@@ -27,7 +27,12 @@ The upper-level policy is still queried on the *current* broadcast
 (``H_t``): the generalization targets the dispatchers' queue-state
 observations, which is where the paper's delay sensitivity lives; with
 the stationary policies used by the stochastic-delay scenarios the
-distinction is moot. The matching mean-field propagator is
+distinction is moot. Policies trained with **live age features**
+(``features.live_age``, the campaign's delayed regimes) additionally
+receive each replica's current delay-regime context through the
+``age_contexts`` channel of ``decision_rules_batch`` — computed
+deterministically from the regime indices, so feeding it never perturbs
+the generator stream. The matching mean-field propagator is
 :mod:`repro.meanfield.delayed`.
 """
 
@@ -190,6 +195,33 @@ class BatchedDelayedFiniteEnv(_BatchedQueueSystemBase):
             fractions = self._sampled_fractions(self.snapshot(age), probs)
             mixed += w[:, None] * fractions
         return self.config.num_queues * lam * mixed
+
+    def step_with_policy(self, policy):
+        """Algorithm 1 with the live-age channel for delay-aware policies.
+
+        Policies trained on live regime context (``features.live_age``)
+        are queried with each replica's current delay-regime age context
+        alongside ``H_t``; everything else takes the parent's exact
+        code path (and the parent's exact generator stream — the
+        contexts are a deterministic function of the regime indices).
+        """
+        features = getattr(policy, "features", None)
+        if (
+            features is not None
+            and getattr(features, "live_age", False)
+            and not policy.is_stationary()
+        ):
+            from repro.meanfield.features import regime_age_contexts_batch
+
+            hists = self.empirical_distributions()
+            contexts = regime_age_contexts_batch(
+                self.delay_model, self._regimes
+            )
+            rules = policy.decision_rules_batch(
+                hists, self._lam_modes, self._rng, age_contexts=contexts
+            )
+            return self.step(rules)
+        return super().step_with_policy(policy)
 
     def step(self, rules: RulesLike):
         hist, rewards, info = super().step(rules)

@@ -10,7 +10,12 @@ cross-entropy-method solver for stationary decision rules is provided as
 a cheap direct optimizer / ablation.
 """
 
-from repro.rl.nn import MLP, GaussianPolicyNetwork, ValueNetwork
+from repro.rl.nn import (
+    MLP,
+    GaussianPolicyNetwork,
+    ValueNetwork,
+    widen_input_weights,
+)
 from repro.rl.distributions import DiagGaussian, DirichletBlocks
 from repro.rl.optim import Adam, clip_grads_by_global_norm, global_norm
 from repro.rl.gae import compute_gae
@@ -20,12 +25,17 @@ from repro.rl.ppo import PPOTrainer, TrainIterationStats
 from repro.rl.ppo_dirichlet import DirichletPPOTrainer
 from repro.rl.imitation import clone_rule, collect_visited_observations
 from repro.rl.cem import CEMResult, optimize_constant_rule
-from repro.rl.evaluation import evaluate_policy_mfc
+from repro.rl.evaluation import (
+    evaluate_policies_mfc,
+    evaluate_policy_mfc,
+    rollout_returns_lockstep,
+)
 
 __all__ = [
     "MLP",
     "GaussianPolicyNetwork",
     "ValueNetwork",
+    "widen_input_weights",
     "DiagGaussian",
     "DirichletBlocks",
     "Adam",
@@ -43,4 +53,6 @@ __all__ = [
     "CEMResult",
     "optimize_constant_rule",
     "evaluate_policy_mfc",
+    "evaluate_policies_mfc",
+    "rollout_returns_lockstep",
 ]

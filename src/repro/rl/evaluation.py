@@ -62,6 +62,12 @@ def rollout_returns_lockstep(
     steps = int(num_steps if num_steps is not None else env.horizon)
     totals = np.zeros(len(envs))
     weight = 1.0
+    # Live-age policies get each episode's current delay-regime context
+    # (a deterministic function of the regime index — no extra draws);
+    # environments without the hook fall back to the frozen context.
+    live_age = bool(
+        getattr(getattr(policy, "features", None), "live_age", False)
+    ) and all(hasattr(clone, "live_age_context") for clone in envs)
     if policy.is_stationary():
         shared_rule = policy.decision_rule(
             envs[0].state.nu, envs[0].state.lam_mode, policy_rng
@@ -72,7 +78,15 @@ def rollout_returns_lockstep(
         else:
             nus = np.stack([clone.state.nu for clone in envs])
             modes = np.asarray([clone.state.lam_mode for clone in envs])
-            rules = policy.decision_rules_batch(nus, modes, policy_rng)
+            if live_age:
+                contexts = np.asarray(
+                    [clone.live_age_context() for clone in envs]
+                )
+                rules = policy.decision_rules_batch(
+                    nus, modes, policy_rng, age_contexts=contexts
+                )
+            else:
+                rules = policy.decision_rules_batch(nus, modes, policy_rng)
         done = False
         for i, (clone, rule) in enumerate(zip(envs, rules)):
             _, reward, done, _ = clone.step(rule)

@@ -17,7 +17,12 @@ import numpy as np
 
 from repro.utils.rng import as_generator
 
-__all__ = ["MLP", "GaussianPolicyNetwork", "ValueNetwork"]
+__all__ = [
+    "MLP",
+    "GaussianPolicyNetwork",
+    "ValueNetwork",
+    "widen_input_weights",
+]
 
 # Module-level named functions (not lambdas) so that networks — and the
 # policies wrapping them — stay picklable across process boundaries
@@ -156,6 +161,35 @@ class MLP:
 
     def num_parameters(self) -> int:
         return sum(p.size for p in self.params.values())
+
+
+def widen_input_weights(
+    state: dict[str, np.ndarray], extra_dims: int
+) -> dict[str, np.ndarray]:
+    """Adapt a network state dict to ``extra_dims`` appended inputs.
+
+    Pads the first-layer weight matrix (``trunk/W0`` for the networks in
+    this module) with zero rows for the new trailing observation
+    dimensions. A network loaded from the widened state is *functionally
+    identical* to the original on any observation whose appended
+    features it ignores — which makes this the exact warm start for
+    fine-tuning a paper-input checkpoint on a feature-augmented
+    observation: training starts from the transplanted policy and can
+    only move away from it where the new context helps.
+    """
+    if extra_dims < 0:
+        raise ValueError(f"extra_dims must be >= 0, got {extra_dims}")
+    out = {k: np.asarray(v, dtype=np.float64).copy() for k, v in state.items()}
+    if extra_dims == 0:
+        return out
+    for key in ("trunk/W0", "W0"):
+        if key in out:
+            w0 = out[key]
+            out[key] = np.vstack(
+                [w0, np.zeros((extra_dims, w0.shape[1]))]
+            )
+            return out
+    raise ValueError("state dict has no first-layer weights (trunk/W0 or W0)")
 
 
 class GaussianPolicyNetwork:

@@ -12,6 +12,13 @@ with advantages standardized per batch, minibatch Adam for
 ``num_epochs`` passes, global-norm gradient clipping, and the classic
 adaptive-β rule: β ×= 1.5 if KL > 2·target, β ×= 0.5 if KL < target/2.
 
+Four optional *hardening knobs* (``PPOConfig``, all default off; off is
+bit-identical to the paper's update, golden-pinned) wrap that loss for
+long training campaigns: bounds on the adaptive β
+(:func:`adapted_kl_coeff`), KL early stopping of the SGD epochs, a
+linear clip-ε decay schedule (:func:`clip_param_at`) and a
+pessimism-free value clamp (:func:`clamped_value_sq_error`).
+
 All gradients are assembled analytically (distribution parameter
 gradients chained through the manual MLP backward pass) — there is no
 autodiff anywhere in this repository.
@@ -31,7 +38,84 @@ from repro.rl.rollout import RolloutCollector
 from repro.rl.vector_rollout import VectorRolloutCollector
 from repro.utils.rng import as_generator
 
-__all__ = ["PPOTrainer", "TrainIterationStats"]
+__all__ = [
+    "PPOTrainer",
+    "TrainIterationStats",
+    "adapted_kl_coeff",
+    "clip_param_at",
+    "clamped_value_sq_error",
+]
+
+
+def adapted_kl_coeff(kl_coeff: float, kl: float, config: PPOConfig) -> float:
+    """RLlib's adaptive-β rule, optionally clamped to the config bounds.
+
+    ``β ×= 1.5`` when the post-update KL overshoots twice the target,
+    ``β ×= 0.5`` when it undershoots half of it; with
+    ``config.kl_coeff_bounds = (lo, hi)`` the result is clamped into
+    ``[lo, hi]`` so a long campaign cannot run the penalty to zero or
+    infinity (property-tested in ``tests/test_ppo_hardening.py``).
+    """
+    if kl > 2.0 * config.kl_target:
+        kl_coeff *= 1.5
+    elif kl < 0.5 * config.kl_target:
+        kl_coeff *= 0.5
+    if config.kl_coeff_bounds is not None:
+        lo, hi = config.kl_coeff_bounds
+        kl_coeff = min(max(kl_coeff, lo), hi)
+    return kl_coeff
+
+
+def clip_param_at(config: PPOConfig, iteration: int) -> float:
+    """Surrogate clip ``ε`` in effect at a (0-based) training iteration.
+
+    Without a decay schedule this is ``config.clip_param`` exactly; with
+    one, ``ε`` decays linearly to ``clip_param_final`` over
+    ``clip_decay_iters`` iterations and stays there — monotone
+    non-increasing in ``iteration`` (property-tested).
+    """
+    if config.clip_param_final is None:
+        return config.clip_param
+    frac = min(1.0, max(0.0, iteration / config.clip_decay_iters))
+    # clip - frac*(clip-final), clamped below at final: every step is a
+    # correctly-rounded monotone map of ``frac``, so the schedule is
+    # exactly non-increasing (not just up to float noise) and lands
+    # within one ulp of ``clip_param_final`` at the end of the decay.
+    decayed = config.clip_param - frac * (
+        config.clip_param - config.clip_param_final
+    )
+    return max(config.clip_param_final, decayed)
+
+
+def clamped_value_sq_error(
+    values: np.ndarray,
+    values_old: np.ndarray,
+    targets: np.ndarray,
+    clamp: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Value-clipped squared error that never exceeds the unclipped one.
+
+    The critic prediction is clipped to the ``±clamp`` band around its
+    pre-update prediction and the elementwise *minimum* of the clamped
+    and unclamped squared errors is taken — unlike the pessimistic
+    ``max`` form, the clamp can limit an update but never widen the
+    loss. Returns ``(sq_error, active)`` where ``active`` marks entries
+    whose gradient flows through the live prediction (the clamped
+    branch, when strictly smaller, has zero gradient: it only wins when
+    the prediction already left the band).
+    """
+    sq_unclamped = (values - targets) ** 2
+    delta = values - values_old
+    # In-band predictions keep their exact value (``old + (v - old)``
+    # would round); only out-of-band ones are pulled to the band edge.
+    clipped = np.where(
+        np.abs(delta) <= clamp,
+        values,
+        values_old + np.clip(delta, -clamp, clamp),
+    )
+    sq_clamped = (clipped - targets) ** 2
+    active = sq_unclamped <= sq_clamped
+    return np.minimum(sq_unclamped, sq_clamped), active
 
 
 @dataclass
@@ -50,6 +134,10 @@ class TrainIterationStats:
     grad_norm: float
     explained_variance: float
     episode_returns: list[float] = field(default_factory=list)
+    # SGD epochs actually performed (< num_epochs when KL early stopping
+    # triggered) and the clip-ε in effect this iteration.
+    epochs_run: int = 0
+    clip_param: float = 0.0
 
 
 def _explained_variance(targets: np.ndarray, predictions: np.ndarray) -> float:
@@ -77,6 +165,13 @@ class PPOTrainer:
         extra environments come from ``env_factory`` if given, else from
         ``env.clone()``. ``train_batch_size`` must be divisible by
         ``num_envs``.
+    independent_streams:
+        With ``num_envs > 1``, give every environment its own spawned
+        generator and per-environment network forwards so the collected
+        batch is invariant to how a fleet is chunked across collectors
+        (see :class:`repro.rl.vector_rollout.VectorRolloutCollector`).
+        The training campaign uses this; the default (``False``) keeps
+        the faster shared-stream collection and its historical streams.
     """
 
     def __init__(
@@ -86,6 +181,7 @@ class PPOTrainer:
         seed: int | np.random.Generator | None = None,
         num_envs: int = 1,
         env_factory=None,
+        independent_streams: bool = False,
     ) -> None:
         self.config = config if config is not None else PPOConfig()
         if num_envs < 1:
@@ -135,6 +231,7 @@ class PPOTrainer:
                 gamma=self.config.gamma,
                 gae_lambda=self.config.gae_lambda,
                 seed=rollout_rng,
+                independent_streams=independent_streams,
             )
         self.kl_coeff = self.config.kl_coeff
         self._policy_opt = Adam.for_params(
@@ -160,11 +257,12 @@ class PPOTrainer:
     ) -> tuple[float, float, float, float, float]:
         """One Adam step on the policy; returns loss diagnostics."""
         cfg = self.config
+        eps = clip_param_at(cfg, self.iteration)
         n = obs.shape[0]
         mu, log_std, cache = self.policy.forward(obs)
         logp = DiagGaussian.log_prob(actions, mu, log_std)
         ratio = np.exp(logp - logp_old)
-        clipped_ratio = np.clip(ratio, 1.0 - cfg.clip_param, 1.0 + cfg.clip_param)
+        clipped_ratio = np.clip(ratio, 1.0 - eps, 1.0 + eps)
         unclipped = ratio * advantages
         clipped = clipped_ratio * advantages
         surrogate = np.minimum(unclipped, clipped)
@@ -174,7 +272,7 @@ class PPOTrainer:
         kl_mean = float(kl.mean())
         entropy = DiagGaussian.entropy(log_std)
         entropy_mean = float(entropy.mean())
-        clip_fraction = float((np.abs(ratio - 1.0) > cfg.clip_param).mean())
+        clip_fraction = float((np.abs(ratio - 1.0) > eps).mean())
 
         # --- gradient wrt log-prob of the surrogate term ---------------
         # d surrogate / d logp = ratio * A where the unclipped branch is
@@ -206,16 +304,26 @@ class PPOTrainer:
         return policy_loss, kl_mean, entropy_mean, clip_fraction, grad_norm
 
     def _value_minibatch_step(
-        self, obs: np.ndarray, targets: np.ndarray
+        self,
+        obs: np.ndarray,
+        targets: np.ndarray,
+        values_old: np.ndarray | None = None,
     ) -> float:
         cfg = self.config
         n = obs.shape[0]
         values, cache = self.value.forward(obs)
-        sq_err = (values - targets) ** 2
+        if cfg.value_clamp_param is not None and values_old is not None:
+            sq_err, in_band = clamped_value_sq_error(
+                values, values_old, targets, cfg.value_clamp_param
+            )
+        else:
+            sq_err = (values - targets) ** 2
+            in_band = True
         clamped = np.minimum(sq_err, cfg.value_clip_param)
         value_loss = float(clamped.mean())
-        # Gradient is zero where the squared error is clamped.
-        active = sq_err < cfg.value_clip_param
+        # Gradient is zero where the squared error is clamped (by the
+        # absolute clip or by the value-clamp band).
+        active = (sq_err < cfg.value_clip_param) & in_band
         grad_v = cfg.value_loss_coeff * 2.0 * (values - targets) * active / n
         grads = self.value.backward(cache, grad_v)
         grads, _ = clip_grads_by_global_norm(grads, cfg.grad_clip)
@@ -251,7 +359,9 @@ class PPOTrainer:
         clip_fracs: list[float] = []
         grad_norms: list[float] = []
 
+        epochs_run = 0
         for _epoch in range(cfg.num_epochs):
+            epochs_run += 1
             for idx in batch.minibatch_indices(cfg.minibatch_size, self._shuffle_rng):
                 if update_policy:
                     p_loss, kl, ent, clip_frac, g_norm = (
@@ -270,9 +380,27 @@ class PPOTrainer:
                     clip_fracs.append(clip_frac)
                     grad_norms.append(g_norm)
                 v_loss = self._value_minibatch_step(
-                    batch.obs[idx], batch.value_targets[idx]
+                    batch.obs[idx],
+                    batch.value_targets[idx],
+                    values_old=batch.values[idx],
                 )
                 value_losses.append(v_loss)
+            if (
+                update_policy
+                and cfg.kl_early_stop_factor is not None
+                and _epoch + 1 < cfg.num_epochs
+            ):
+                # KL early stopping: once the full-batch divergence has
+                # left the trust region, further epochs on the same batch
+                # only push it further out (torchrl's ESS-style guard).
+                mu_e, log_std_e, _ = self.policy.forward(batch.obs)
+                epoch_kl = float(
+                    DiagGaussian.kl(
+                        mu_old_all, log_std_old_all, mu_e, log_std_e
+                    ).mean()
+                )
+                if epoch_kl > cfg.kl_early_stop_factor * cfg.kl_target:
+                    break
 
         # Adaptive KL coefficient (RLlib's update_kl rule) based on the
         # post-update divergence over the full batch.
@@ -280,10 +408,7 @@ class PPOTrainer:
         final_kl = float(
             DiagGaussian.kl(mu_old_all, log_std_old_all, mu_new, log_std_new).mean()
         )
-        if final_kl > 2.0 * cfg.kl_target:
-            self.kl_coeff *= 1.5
-        elif final_kl < 0.5 * cfg.kl_target:
-            self.kl_coeff *= 0.5
+        self.kl_coeff = adapted_kl_coeff(self.kl_coeff, final_kl, cfg)
 
         values_pred = self.value(batch.obs)
         self.iteration += 1
@@ -307,6 +432,8 @@ class PPOTrainer:
                 batch.value_targets, values_pred
             ),
             episode_returns=list(batch.episode_returns),
+            epochs_run=epochs_run,
+            clip_param=clip_param_at(cfg, self.iteration - 1),
         )
         return stats
 

@@ -16,6 +16,25 @@ undiscounted returns are recorded for the Figure 3 training curve. The
 returned :class:`repro.rl.rollout.RolloutBatch` is flattened time-major
 (slice ``t`` of all environments precedes slice ``t+1``), so the PPO
 update consumes it unchanged.
+
+Two sampling modes are supported:
+
+* **Shared stream** (default): one generator drives action noise and
+  resets for the whole fleet, and network forwards are batched over the
+  stacked observations. Fastest, and bit-identical to what PR 4 shipped,
+  but an environment's trajectory depends on the fleet it runs in.
+* **Independent streams** (``independent_streams=True``): environment
+  ``i`` owns the ``stream_offset + i``-th generator spawned from the
+  root seed, and both its action noise and its network forwards are
+  per-environment (batch size 1). An environment's trajectory is then a
+  pure function of ``(networks, seed, stream_offset + i)`` — a fleet's
+  batch equals the column-interleave of any chunking of that fleet
+  across collectors, which is what lets a training campaign shard
+  collection over workers without changing the resulting PPO update.
+  The batch-1 forwards are not an oversight: BLAS matrix products here
+  are *not* row-stable across batch sizes (``(X @ W)[:m]`` need not
+  bitwise equal ``X[:m] @ W``), so batched forwards would break exact
+  chunk invariance.
 """
 
 from __future__ import annotations
@@ -26,7 +45,7 @@ from repro.rl.distributions import DiagGaussian
 from repro.rl.gae import compute_gae
 from repro.rl.nn import GaussianPolicyNetwork, ValueNetwork
 from repro.rl.rollout import RolloutBatch
-from repro.utils.rng import as_generator
+from repro.utils.rng import as_generator, spawn_generators
 
 __all__ = ["VectorRolloutCollector"]
 
@@ -44,6 +63,22 @@ class VectorRolloutCollector:
         The actor and critic networks being trained.
     gamma, gae_lambda:
         Discounting parameters for advantage estimation.
+    seed:
+        Root seed. With ``independent_streams`` pass an ``int`` (or a
+        fresh ``SeedSequence``-backed generator) so that re-creating a
+        collector for a chunk reproduces the same per-environment
+        streams.
+    independent_streams:
+        Give environment ``i`` its own spawned generator (child
+        ``stream_offset + i`` of the root seed) and use per-environment
+        batch-1 network forwards, making each column of the batch
+        independent of the fleet size. See the module docstring.
+    stream_offset:
+        Global index of the first environment of this collector within
+        the (conceptual) full fleet. Only meaningful with
+        ``independent_streams``; a collector over chunk ``[k, k+m)`` of
+        a fleet reproduces that fleet's columns when given
+        ``stream_offset=k``.
     """
 
     def __init__(
@@ -54,22 +89,47 @@ class VectorRolloutCollector:
         gamma: float,
         gae_lambda: float,
         seed: int | np.random.Generator | None = None,
+        independent_streams: bool = False,
+        stream_offset: int = 0,
     ) -> None:
         self.envs = list(envs)
         if not self.envs:
             raise ValueError("need at least one environment")
+        if stream_offset < 0:
+            raise ValueError(f"stream_offset must be >= 0, got {stream_offset}")
+        if stream_offset and not independent_streams:
+            raise ValueError("stream_offset requires independent_streams=True")
         self.policy = policy
         self.value = value
         self.gamma = gamma
         self.gae_lambda = gae_lambda
-        self._rng = as_generator(seed)
+        if independent_streams:
+            # Child i of the root seed belongs to *global* environment i,
+            # so a chunked collector reproduces the fleet's streams.
+            self._env_rngs = spawn_generators(
+                seed, stream_offset + len(self.envs)
+            )[stream_offset:]
+            self._rng = None
+        else:
+            self._env_rngs = None
+            self._rng = as_generator(seed)
         self._obs: np.ndarray | None = None  # (E, obs_dim) stacked
         self._episode_returns_running = np.zeros(len(self.envs))
         self.total_env_steps = 0
 
     @property
+    def independent_streams(self) -> bool:
+        return self._env_rngs is not None
+
+    @property
     def num_envs(self) -> int:
         return len(self.envs)
+
+    def _reset_rng(self, i: int) -> np.random.Generator:
+        """The generator environment ``i`` resets (and then steps) with."""
+        if self._env_rngs is not None:
+            return self._env_rngs[i]
+        return self._rng
 
     def collect(self, batch_size: int) -> RolloutBatch:
         """Roll the policy for ``batch_size`` total environment steps.
@@ -89,7 +149,10 @@ class VectorRolloutCollector:
         steps = batch_size // e
         if self._obs is None:
             self._obs = np.stack(
-                [np.asarray(env.reset(self._rng), dtype=np.float64) for env in self.envs]
+                [
+                    np.asarray(env.reset(self._reset_rng(i)), dtype=np.float64)
+                    for i, env in enumerate(self.envs)
+                ]
             )
             self._episode_returns_running[:] = 0.0
 
@@ -106,10 +169,28 @@ class VectorRolloutCollector:
 
         for t in range(steps):
             obs = self._obs
-            mu, log_std, _ = self.policy.forward(obs)
-            actions = DiagGaussian.sample(mu, log_std, self._rng)
-            logps = DiagGaussian.log_prob(actions, mu, log_std)
-            values = self.value(obs)
+            if self._env_rngs is not None:
+                # Per-environment batch-1 forwards: keeps every column a
+                # pure function of (networks, seed, global env index).
+                actions = np.empty((e, act_dim))
+                logps = np.empty(e)
+                values = np.empty(e)
+                for i in range(e):
+                    row = obs[i : i + 1]
+                    mu_i, log_std_i, _ = self.policy.forward(row)
+                    action_i = DiagGaussian.sample(
+                        mu_i, log_std_i, self._env_rngs[i]
+                    )
+                    actions[i] = action_i[0]
+                    logps[i] = DiagGaussian.log_prob(
+                        action_i, mu_i, log_std_i
+                    )[0]
+                    values[i] = self.value(row)[0]
+            else:
+                mu, log_std, _ = self.policy.forward(obs)
+                actions = DiagGaussian.sample(mu, log_std, self._rng)
+                logps = DiagGaussian.log_prob(actions, mu, log_std)
+                values = self.value(obs)
 
             obs_buf[t] = obs
             act_buf[t] = actions
@@ -136,19 +217,31 @@ class VectorRolloutCollector:
                     )
                     self._episode_returns_running[i] = 0.0
                     next_obs[i] = np.asarray(
-                        env.reset(self._rng), dtype=np.float64
+                        env.reset(self._reset_rng(i)), dtype=np.float64
                     )
                 else:
                     next_obs[i] = np.asarray(step_obs, dtype=np.float64)
             if bootstrap_envs:
-                # One batched critic call for all truncated episode ends.
-                final_values = self.value(np.stack(bootstrap_obs))
+                if self._env_rngs is not None:
+                    # Batch-1 calls: batched BLAS is not row-stable.
+                    final_values = np.array(
+                        [float(self.value(o[None, :])[0]) for o in bootstrap_obs]
+                    )
+                else:
+                    # One batched critic call for all truncated episode ends.
+                    final_values = self.value(np.stack(bootstrap_obs))
                 gae_rew_buf[t, bootstrap_envs] += self.gamma * final_values
             self._obs = next_obs
             self.total_env_steps += e
 
-        # Bootstrap the still-running tails with one batched critic call.
-        tail_values = self.value(self._obs)
+        # Bootstrap the still-running tails (one batched critic call in
+        # shared-stream mode, batch-1 calls in independent-streams mode).
+        if self._env_rngs is not None:
+            tail_values = np.array(
+                [float(self.value(self._obs[i : i + 1])[0]) for i in range(e)]
+            )
+        else:
+            tail_values = self.value(self._obs)
         advantages = np.empty((steps, e))
         targets = np.empty((steps, e))
         for i in range(e):

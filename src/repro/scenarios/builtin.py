@@ -1,6 +1,6 @@
 """The built-in scenario catalogue.
 
-Seventeen workloads, registered on import:
+Eighteen workloads, registered on import:
 
 * ``paper-baseline`` — the paper's own Figure-5 setting: homogeneous
   servers, two-level Markov-modulated arrivals, MF vs JSQ(2) vs RND.
@@ -31,6 +31,13 @@ Seventeen workloads, registered on import:
   estimator per arXiv:2012.10142, ``oracle`` — knows the profile,
   ``static`` — never switches) for ``cli stream --controller`` and the
   regret evaluation (:mod:`repro.serving.regret`).
+* ``leaderboard`` — the training-campaign leaderboard: the natively
+  trained per-regime checkpoints (``MF-regime``, age-conditioned; see
+  :mod:`repro.experiments.campaign`) against the transplanted paper
+  checkpoints (``MF``) and the static baselines under matched seeds on
+  the stochastic-delay environment. SED is omitted because the fleet is
+  homogeneous (SED(d) coincides with JSQ(d) there);
+  ``benchmarks/bench_regime_leaderboard.py`` asserts the ranking.
 * ``stochastic-delay`` — per-dispatcher random observation delays: the
   monitoring plane switches between *synced* and *degraded* regimes
   (:class:`repro.queueing.delays.MarkovModulatedDelay`), generalizing
@@ -472,6 +479,45 @@ register_scenario(
         tags=("streaming", "arrivals", "stress"),
     )
 )
+
+def _leaderboard_policies(config: SystemConfig) -> "dict[str, UpperLevelPolicy]":
+    """Campaign checkpoints vs transplants vs static baselines.
+
+    Both learned columns resolve through their registries (packaged
+    checkpoint first, graceful fallback on a cold checkout — the bench
+    reports the sources). SED is omitted: this fleet is homogeneous,
+    where SED(d) coincides with JSQ(d).
+    """
+    from repro.experiments.campaign import get_regime_policy
+    from repro.experiments.pretrained import get_mf_policy
+    from repro.experiments.runner import policy_suite
+    from repro.policies.static import ThresholdPolicy
+
+    mf_policy, _source = get_mf_policy(config.delta_t)
+    regime_policy, _source = get_regime_policy(config.delta_t)
+    suite = policy_suite(config, mf_policy=mf_policy)
+    threshold = max(1, config.num_queue_states // 2)
+    thr = ThresholdPolicy(config.num_queue_states, config.d, threshold)
+    return {"MF-regime": regime_policy, **suite, thr.name: thr}
+
+
+register_scenario(
+    ScenarioSpec(
+        name="leaderboard",
+        description=(
+            "Campaign leaderboard: natively trained MF-regime checkpoints "
+            "vs transplanted MF vs JSQ/RND/THR under stochastic delays"
+        ),
+        base_config=paper_system_config(num_queues=100),
+        delta_ts=_DEFAULT_DELTA_TS,
+        num_runs=5,
+        build_policies=_leaderboard_policies,
+        env_cls=BatchedDelayedFiniteEnv,
+        build_env_kwargs=_stochastic_delay_env_kwargs,
+        tags=("paper", "delays", "learned"),
+    )
+)
+
 
 register_scenario(
     ScenarioSpec(

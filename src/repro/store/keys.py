@@ -47,10 +47,18 @@ import numpy as np
 import repro
 
 if TYPE_CHECKING:
+    from repro.config import PPOConfig
+    from repro.experiments.campaign import RegimeSpec, TrainingBudget
     from repro.experiments.parallel import EvalRequest, _Shard
     from repro.serving.engine import StreamRequest
 
-__all__ = ["CODE_SALT", "fingerprint", "shard_key", "stream_shard_key"]
+__all__ = [
+    "CODE_SALT",
+    "fingerprint",
+    "shard_key",
+    "stream_shard_key",
+    "train_shard_key",
+]
 
 #: Store-format generation; bump to invalidate all entries on layout
 #: changes that keep the package version (rare — prefer version bumps).
@@ -259,4 +267,30 @@ def stream_shard_key(
         payload["controller"] = request.controller
         payload["control_policies"] = dict(request.policies or {})
     _feed_sim_backend(payload, getattr(request, "sim_backend", "numpy"))
+    return fingerprint(payload)
+
+
+def train_shard_key(
+    regime: "RegimeSpec",
+    ppo: "PPOConfig",
+    budget: "TrainingBudget",
+    seed: int,
+) -> str:
+    """Content hash identifying one *training* shard's result.
+
+    A training shard is one regime's finished policy (network state dict
+    plus learning curve). With ``independent_streams`` collection the
+    trained parameters are a pure function of the regime definition, the
+    PPO configuration, the training budget and the seed — exactly the
+    fields hashed here — so an interrupted campaign resumes from the
+    store bit-identically, on any worker count.
+    """
+    payload = {
+        "salt": CODE_SALT,
+        "kind": "train",
+        "regime": regime,
+        "ppo": ppo.to_dict(),
+        "budget": budget,
+        "seed": int(seed),
+    }
     return fingerprint(payload)

@@ -171,12 +171,62 @@ class ExperimentStore:
         drops = np.asarray(drops, dtype=np.float64)
         if drops.ndim != 1:
             raise ValueError(f"drops must be 1-D, got shape {drops.shape}")
+        payload = {"num_runs": int(drops.shape[0]), **dict(meta or {})}
+        return self.put_entry(key, {_DROPS_KEY: drops}, meta=payload)
+
+    # -- generic entries -------------------------------------------------
+    # Shard results are one flavor of entry (a single 1-D drops array);
+    # training shards persist whole network state dicts plus a learning
+    # curve through the same atomic-publish / quarantine-on-invalid
+    # machinery below.
+
+    def get_entry(
+        self, key: str
+    ) -> tuple[dict[str, np.ndarray], dict[str, Any]] | None:
+        """Cached arrays and metadata for ``key``, or ``None`` on a miss.
+
+        A present-but-invalid entry (corruption, schema or key mismatch,
+        non-finite floats) is quarantined and reported as a miss.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            self.stats.misses += 1
+            return None
+        try:
+            arrays, meta = load_npz_checkpoint(path)
+            if meta.get("schema") != STORE_SCHEMA_VERSION:
+                raise ValueError(f"schema mismatch: {meta.get('schema')!r}")
+            if meta.get("key") != key:
+                raise ValueError("stored key does not match file name")
+            for name, arr in arrays.items():
+                if np.issubdtype(arr.dtype, np.floating) and not np.all(
+                    np.isfinite(arr)
+                ):
+                    raise ValueError(f"non-finite values in array {name!r}")
+        except Exception:
+            # Corrupted or stale entry: recover by quarantining it and
+            # recomputing the shard (a cache can always afford a miss).
+            self._quarantine(path)
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return dict(arrays), meta
+
+    def put_entry(
+        self,
+        key: str,
+        arrays: Mapping[str, np.ndarray],
+        meta: Mapping[str, Any] | None = None,
+    ) -> Path:
+        """Persist a multi-array entry atomically; returns the entry path."""
+        if not arrays:
+            raise ValueError("entry must hold at least one array")
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "schema": STORE_SCHEMA_VERSION,
             "key": key,
-            "num_runs": int(drops.shape[0]),
             **dict(meta or {}),
         }
         fd, tmp_name = tempfile.mkstemp(
@@ -185,7 +235,7 @@ class ExperimentStore:
         os.close(fd)
         tmp_path = Path(tmp_name)
         try:
-            save_npz_checkpoint(tmp_path, {_DROPS_KEY: drops}, meta=payload)
+            save_npz_checkpoint(tmp_path, dict(arrays), meta=payload)
             os.replace(tmp_path, path)  # atomic publish
         except BaseException:
             tmp_path.unlink(missing_ok=True)

@@ -214,6 +214,89 @@ class TestDelayedEnv:
                 seen_degraded = True
         assert seen_degraded
 
+    def test_live_age_policies_get_per_replica_contexts(self, config):
+        """``step_with_policy`` feeds live-age policies the age context
+        of each replica's current delay regime."""
+        from repro.meanfield.features import (
+            ObservationFeatures,
+            regime_age_contexts_batch,
+        )
+        from repro.policies.learned import NeuralPolicy
+        from repro.rl.nn import GaussianPolicyNetwork
+
+        class RecordingPolicy(NeuralPolicy):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.seen_contexts = []
+
+            def decision_rules_batch(
+                self, nus, lam_modes, rng=None, age_contexts=None
+            ):
+                self.seen_contexts.append(age_contexts)
+                return super().decision_rules_batch(
+                    nus, lam_modes, rng, age_contexts=age_contexts
+                )
+
+        s, d = config.num_queue_states, config.d
+        network = GaussianPolicyNetwork(
+            s + 2 + 2, s**d * d, hidden_sizes=(16,),
+            rng=np.random.default_rng(0),
+        )
+        model = MarkovModulatedDelay.synced_degraded()
+        policy = RecordingPolicy(
+            network,
+            num_states=s,
+            d=d,
+            features=ObservationFeatures(age=True, live_age=True),
+            age_context=(0.1, 0.2),
+        )
+        env = BatchedDelayedFiniteEnv(
+            config, num_replicas=6, delay_model=model, seed=3
+        )
+        env.reset(3)
+        for _ in range(12):
+            regimes_before = env.delay_regimes
+            env.step_with_policy(policy)
+            expected = regime_age_contexts_batch(model, regimes_before)
+            assert np.array_equal(policy.seen_contexts[-1], expected)
+        # Both regimes were visited, so the channel actually varied.
+        stacked = np.concatenate(policy.seen_contexts)
+        assert len(np.unique(stacked[:, 1])) > 1
+
+    def test_frozen_age_policies_keep_the_parent_path(self, config):
+        """Policies without live_age go through the parent query — the
+        trajectory matches a frozen-context policy queried manually."""
+        from repro.meanfield.features import ObservationFeatures
+        from repro.policies.learned import NeuralPolicy
+        from repro.rl.nn import GaussianPolicyNetwork
+
+        s, d = config.num_queue_states, config.d
+        network = GaussianPolicyNetwork(
+            s + 2 + 2, s**d * d, hidden_sizes=(16,),
+            rng=np.random.default_rng(1),
+        )
+        model = MarkovModulatedDelay.synced_degraded()
+
+        def rollout(policy):
+            env = BatchedDelayedFiniteEnv(
+                config, num_replicas=4, delay_model=model, seed=7
+            )
+            env.reset(2)
+            drops = []
+            for _ in range(10):
+                _, _, info = env.step_with_policy(policy)
+                drops.append(info["drops_total"].copy())
+            return np.asarray(drops)
+
+        frozen = NeuralPolicy(
+            network,
+            num_states=s,
+            d=d,
+            features=ObservationFeatures(age=True),
+            age_context=(0.1, 0.2),
+        )
+        assert np.array_equal(rollout(frozen), rollout(frozen))
+
     def test_committed_choice_rejected(self, config):
         with pytest.raises(ValueError):
             BatchedDelayedFiniteEnv(
